@@ -1,0 +1,386 @@
+// Benchmarks regenerating every table and figure of the paper, one bench
+// per artifact (see DESIGN.md's per-experiment index), plus ablation
+// benches for the design choices the reproduction calls out. Each
+// iteration regenerates the artifact end to end at the quick scale; the
+// interesting domain numbers are attached as custom metrics.
+package sinet_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	sinet "github.com/sinet-io/sinet"
+	"github.com/sinet-io/sinet/internal/groundstation"
+	"github.com/sinet-io/sinet/internal/mac"
+	"github.com/sinet-io/sinet/internal/orbit"
+)
+
+// newRunner builds a fresh quick-scale experiment runner.
+func newRunner() *sinet.ExperimentRunner {
+	return sinet.NewExperimentRunner(sinet.QuickScale(), io.Discard)
+}
+
+func BenchmarkTable1Dataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalTraces), "traces")
+	}
+}
+
+func BenchmarkTable2Cost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SatMonthlyPerNode), "$/node-month")
+	}
+}
+
+func BenchmarkTable3Constellations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := newRunner().Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3aPresence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig3a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DailyHours["Tianqi"]["HK"], "tianqi-h/day")
+	}
+}
+
+func BenchmarkFig3bRSSI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig3b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(-res.Mean["Tianqi"], "-dBm")
+	}
+}
+
+func BenchmarkFig3cRSSIvsDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := newRunner().Fig3c(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3dWeather(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig3d()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OverallLoss*100, "beacon-loss-%")
+	}
+}
+
+func BenchmarkFig4aWindows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Shrink["Tianqi"]*100, "shrink-%")
+	}
+}
+
+func BenchmarkFig4bIntervals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Stretch["Tianqi"], "stretch-x")
+	}
+}
+
+func BenchmarkFig5aReliability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig5a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SatWithRetx*100, "retx-rel-%")
+		b.ReportMetric(res.SatNoRetx*100, "noretx-rel-%")
+	}
+}
+
+func BenchmarkFig5bRetransmissions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig5b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanRetx["1/4λ rainy"], "worst-retx")
+	}
+}
+
+func BenchmarkFig5cLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig5cd()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratio, "sat/terr-x")
+	}
+}
+
+func BenchmarkFig5dLatencyBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig5cd()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Wait.Minutes(), "wait-min")
+		b.ReportMetric(res.Delivery.Minutes(), "delivery-min")
+	}
+}
+
+func BenchmarkFig6Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Energy.PowerRatio, "drain-ratio-x")
+	}
+}
+
+func BenchmarkFig8Distances(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TianqiP90, "tianqi-p90-km")
+	}
+}
+
+func BenchmarkFig9WindowPosition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MiddleFraction*100, "middle-%")
+	}
+}
+
+func BenchmarkFig10TerrestrialPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := newRunner().Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11TerrestrialBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TxRxEnergyFrac*100, "txrx-energy-%")
+	}
+}
+
+func BenchmarkFig12aPayload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig12a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Reliability[120]*100, "120B-rel-%")
+	}
+}
+
+func BenchmarkFig12bConcurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := newRunner().Fig12b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rel, ok := res.ReliabilityByConcurrency[3]; ok {
+			b.ReportMetric(rel*100, "3node-rel-%")
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationScheduler compares the paper's customized tracking
+// scheduler against the vanilla TinyGS round-robin it replaced (§2.2).
+func BenchmarkAblationScheduler(b *testing.B) {
+	start := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	hk, _ := sinet.SiteByCode("HK")
+	cons := sinet.PICO(start)
+	var catalog []int
+	for _, s := range cons.Sats {
+		catalog = append(catalog, s.NoradID)
+	}
+	run := func(sched groundstation.Scheduler) int {
+		res, err := sinet.RunPassive(sinet.PassiveConfig{
+			Seed: 42, Start: start, Days: 1,
+			Sites:          []sinet.Site{hk},
+			Constellations: []sinet.Constellation{cons},
+			Scheduler:      sched,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Dataset.Len()
+	}
+	for i := 0; i < b.N; i++ {
+		tracked := run(groundstation.TrackingScheduler{})
+		vanilla := run(groundstation.RoundRobinScheduler{Catalog: catalog, Slot: 10 * time.Minute})
+		b.ReportMetric(float64(tracked), "tracking-traces")
+		b.ReportMetric(float64(vanilla), "vanilla-traces")
+	}
+}
+
+// BenchmarkAblationCapture measures the collision model with and without
+// the LoRa capture effect.
+func BenchmarkAblationCapture(b *testing.B) {
+	run := func(capture bool) float64 {
+		res, err := sinet.RunActive(sinet.ActiveConfig{
+			Seed: 42, Days: 2, Nodes: 3,
+			Policy: sinet.NoRetxPolicy(), AlignedPhases: true,
+			Collisions: mac.CollisionModel{CaptureThresholdDB: 6, CaptureEnabled: capture},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Reliability()
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(true)*100, "capture-rel-%")
+		b.ReportMetric(run(false)*100, "nocapture-rel-%")
+	}
+}
+
+// BenchmarkAblationRetxBudget sweeps the retransmission budget, the
+// paper's central protocol knob (Fig. 5a evaluates 0 and 5).
+func BenchmarkAblationRetxBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, budget := range []int{0, 2, 5} {
+			res, err := sinet.RunActive(sinet.ActiveConfig{
+				Seed: 42, Days: 2,
+				Policy: sinet.RetxPolicy{MaxRetx: budget, AckTimeout: 3 * time.Second},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch budget {
+			case 0:
+				b.ReportMetric(res.Reliability()*100, "retx0-rel-%")
+			case 5:
+				b.ReportMetric(res.Reliability()*100, "retx5-rel-%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTwoLevel compares the two-level simulation strategy
+// (pass prediction gates beacon-level work) against naive flat stepping
+// that evaluates geometry at every beacon instant of the day.
+func BenchmarkAblationTwoLevel(b *testing.B) {
+	start := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	cons := sinet.Tianqi(start)
+	site := sinet.LatLon(22.3, 114.2, 0)
+
+	b.Run("two-level", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			visible := 0
+			for _, e := range cons.Sats {
+				prop, err := sinet.NewPropagator(e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pp := sinet.NewPassPredictor(prop)
+				for _, pass := range pp.Passes(site, start, start.Add(24*time.Hour), 0) {
+					for t := pass.AOS; t.Before(pass.LOS); t = t.Add(cons.BeaconInterval) {
+						visible++
+					}
+				}
+			}
+			b.ReportMetric(float64(visible), "beacon-slots")
+		}
+	})
+	b.Run("flat-stepping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			visible := 0
+			for _, e := range cons.Sats {
+				prop, err := sinet.NewPropagator(e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for t := start; t.Before(start.Add(24 * time.Hour)); t = t.Add(cons.BeaconInterval) {
+					r, v, err := prop.PositionECEF(t)
+					if err != nil {
+						continue
+					}
+					if orbit.Look(site, r, v).Elevation > 0 {
+						visible++
+					}
+				}
+			}
+			b.ReportMetric(float64(visible), "beacon-slots")
+		}
+	})
+}
+
+// --- Micro-benchmarks on the hot substrate paths -------------------------
+
+func BenchmarkSGP4Propagate(b *testing.B) {
+	start := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	prop, err := sinet.NewPropagator(sinet.Tianqi(start).Sats[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prop.PropagateMinutes(float64(i % 10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPassPrediction(b *testing.B) {
+	start := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	prop, err := sinet.NewPropagator(sinet.Tianqi(start).Sats[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	site := sinet.LatLon(22.3, 114.2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp := sinet.NewPassPredictor(prop)
+		if passes := pp.Passes(site, start, start.Add(24*time.Hour), 0); len(passes) == 0 {
+			b.Fatal("no passes")
+		}
+	}
+}
+
+func BenchmarkTLEParse(b *testing.B) {
+	start := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	card := sinet.Tianqi(start).Sats[0].TLE().Format()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sinet.ParseTLE(card); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

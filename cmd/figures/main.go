@@ -1,0 +1,145 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation from the simulation substrate and prints them as ASCII
+// reports.
+//
+// Usage:
+//
+//	figures [-scale quick|standard|paper] [-seed N] [-only ID] [-o FILE]
+//
+// IDs follow the paper: T1 T2 T3 F3a F3b F3c F3d F4 F5a F5b F5cd F6 F8 F9
+// F10 F11 F12a F12b — plus OPT, the study of the DtS optimizations the
+// paper's conclusion calls for.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	sinet "github.com/sinet-io/sinet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	scaleName := flag.String("scale", "standard", "experiment scale: quick, standard or paper")
+	seed := flag.Int64("seed", 42, "master random seed")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	outPath := flag.String("o", "", "write the report to a file instead of stdout")
+	flag.Parse()
+
+	var scale sinet.ExperimentScale
+	switch *scaleName {
+	case "quick":
+		scale = sinet.QuickScale()
+	case "standard":
+		scale = sinet.StandardScale()
+	case "paper":
+		scale = sinet.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	scale.Seed = *seed
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatalf("create %s: %v", *outPath, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("close %s: %v", *outPath, err)
+			}
+		}()
+		out = f
+	}
+
+	fmt.Fprintf(out, "SINet figure reproduction — scale=%s seed=%d (%s)\n",
+		scale.Name, scale.Seed, time.Now().UTC().Format(time.RFC3339))
+
+	r := sinet.NewExperimentRunner(scale, out)
+	start := time.Now()
+	if *only == "" {
+		if err := r.RunAll(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			if err := runOne(r, strings.TrimSpace(id)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Fprintf(out, "\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runOne dispatches a single experiment by its paper ID.
+func runOne(r *sinet.ExperimentRunner, id string) error {
+	switch strings.ToUpper(id) {
+	case "T1":
+		_, err := r.Table1()
+		return err
+	case "T2":
+		_, err := r.Table2()
+		return err
+	case "T3":
+		_, err := r.Table3()
+		return err
+	case "F3A":
+		_, err := r.Fig3a()
+		return err
+	case "F3B":
+		_, err := r.Fig3b()
+		return err
+	case "F3C":
+		_, err := r.Fig3c()
+		return err
+	case "F3D":
+		_, err := r.Fig3d()
+		return err
+	case "F4", "F4A", "F4B":
+		_, err := r.Fig4()
+		return err
+	case "F5A":
+		_, err := r.Fig5a()
+		return err
+	case "F5B":
+		_, err := r.Fig5b()
+		return err
+	case "F5CD", "F5C", "F5D":
+		_, err := r.Fig5cd()
+		return err
+	case "F6":
+		_, err := r.Fig6()
+		return err
+	case "F8":
+		_, err := r.Fig8()
+		return err
+	case "F9":
+		_, err := r.Fig9()
+		return err
+	case "F10":
+		_, err := r.Fig10()
+		return err
+	case "F11":
+		_, err := r.Fig11()
+		return err
+	case "F12A":
+		_, err := r.Fig12a()
+		return err
+	case "F12B":
+		_, err := r.Fig12b()
+		return err
+	case "OPT":
+		_, err := r.Optimizations()
+		return err
+	default:
+		return fmt.Errorf("unknown experiment id %q", id)
+	}
+}

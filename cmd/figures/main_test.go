@@ -1,0 +1,51 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	sinet "github.com/sinet-io/sinet"
+)
+
+func TestRunOneDispatchesStaticExperiments(t *testing.T) {
+	var out strings.Builder
+	r := sinet.NewExperimentRunner(sinet.QuickScale(), &out)
+	// The static experiments run instantly and cover the dispatcher.
+	for _, id := range []string{"T2", "t3", "F10"} {
+		if err := runOne(r, id); err != nil {
+			t.Errorf("runOne(%s): %v", id, err)
+		}
+	}
+	for _, want := range []string{"Table 2", "Table 3", "Fig. 10"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunOneUnknownID(t *testing.T) {
+	r := sinet.NewExperimentRunner(sinet.QuickScale(), io.Discard)
+	if err := runOne(r, "F99"); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+	if err := runOne(r, ""); err == nil {
+		t.Error("empty experiment id accepted")
+	}
+}
+
+func TestRunOneAliases(t *testing.T) {
+	// F4A/F4B and F5C/F5D map onto their combined experiments; verify the
+	// aliases dispatch without error at quick scale.
+	if testing.Short() {
+		t.Skip("campaign aliases skipped in -short")
+	}
+	var out strings.Builder
+	r := sinet.NewExperimentRunner(sinet.QuickScale(), &out)
+	if err := runOne(r, "F4B"); err != nil {
+		t.Fatalf("F4B: %v", err)
+	}
+	if !strings.Contains(out.String(), "Fig. 4a/4b") {
+		t.Error("F4B alias did not run Fig4")
+	}
+}

@@ -1,0 +1,160 @@
+// Command passpredict predicts satellite contact windows over a ground
+// site, either from a TLE file or for one of the built-in constellations.
+//
+// Usage:
+//
+//	passpredict -lat 22.3 -lon 114.2 [-alt 0] [-hours 24] [-minel 0]
+//	            [-tle FILE | -constellation Tianqi|FOSSA|PICO|CSTP]
+//	            [-start RFC3339]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	sinet "github.com/sinet-io/sinet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("passpredict: ")
+
+	lat := flag.Float64("lat", 22.3193, "site latitude, degrees")
+	lon := flag.Float64("lon", 114.1694, "site longitude, degrees")
+	alt := flag.Float64("alt", 0, "site altitude, km")
+	hours := flag.Float64("hours", 24, "search horizon, hours")
+	minEl := flag.Float64("minel", 0, "minimum elevation mask, degrees")
+	tlePath := flag.String("tle", "", "TLE file (2- or 3-line sets, repeated)")
+	consName := flag.String("constellation", "Tianqi", "built-in constellation when no TLE file is given")
+	startStr := flag.String("start", "", "search start (RFC3339, default: constellation epoch)")
+	flag.Parse()
+
+	start := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	if *startStr != "" {
+		t, err := time.Parse(time.RFC3339, *startStr)
+		if err != nil {
+			log.Fatalf("bad -start: %v", err)
+		}
+		start = t.UTC()
+	}
+	site := sinet.LatLon(*lat, *lon, *alt)
+	end := start.Add(time.Duration(*hours * float64(time.Hour)))
+	mask := *minEl * 3.14159265358979 / 180
+
+	props, err := loadPropagators(*tlePath, *consName, start)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("site lat=%.4f lon=%.4f alt=%.1fkm  window %s .. %s  mask %.1f°\n\n",
+		*lat, *lon, *alt, start.Format(time.RFC3339), end.Format(time.RFC3339), *minEl)
+
+	var all []sinet.Pass
+	for _, p := range props {
+		pp := sinet.NewPassPredictor(p)
+		all = append(all, pp.Passes(site, start, end, mask)...)
+	}
+	sortPasses(all)
+	if len(all) == 0 {
+		fmt.Println("no passes found")
+		return
+	}
+	fmt.Printf("%-14s %-20s %-20s %-9s %-7s %-9s\n", "SAT", "AOS (UTC)", "LOS (UTC)", "DUR", "MAXEL", "MINRANGE")
+	for _, p := range all {
+		fmt.Printf("%-14s %-20s %-20s %-9s %5.1f°  %7.0fkm\n",
+			p.Name,
+			p.AOS.Format("2006-01-02 15:04:05"),
+			p.LOS.Format("2006-01-02 15:04:05"),
+			p.Duration().Round(time.Second),
+			p.MaxElevationDeg(), p.MinRangeKm)
+	}
+	fmt.Printf("\n%d passes\n", len(all))
+}
+
+// loadPropagators builds propagators from a TLE file or a built-in fleet.
+func loadPropagators(tlePath, consName string, epoch time.Time) ([]*sinet.Propagator, error) {
+	if tlePath != "" {
+		data, err := os.ReadFile(tlePath)
+		if err != nil {
+			return nil, err
+		}
+		return parseTLEFile(string(data))
+	}
+	var cons sinet.Constellation
+	switch strings.ToLower(consName) {
+	case "tianqi":
+		cons = sinet.Tianqi(epoch)
+	case "fossa":
+		cons = sinet.FOSSA(epoch)
+	case "pico":
+		cons = sinet.PICO(epoch)
+	case "cstp":
+		cons = sinet.CSTP(epoch)
+	default:
+		return nil, fmt.Errorf("unknown constellation %q", consName)
+	}
+	props := make([]*sinet.Propagator, 0, cons.Size())
+	for _, e := range cons.Sats {
+		p, err := sinet.NewPropagator(e)
+		if err != nil {
+			return nil, err
+		}
+		props = append(props, p)
+	}
+	return props, nil
+}
+
+// parseTLEFile splits concatenated TLE sets (with optional name lines).
+func parseTLEFile(text string) ([]*sinet.Propagator, error) {
+	var props []*sinet.Propagator
+	lines := strings.Split(text, "\n")
+	var block []string
+	flush := func() error {
+		if len(block) == 0 {
+			return nil
+		}
+		tle, err := sinet.ParseTLE(strings.Join(block, "\n"))
+		block = nil
+		if err != nil {
+			return err
+		}
+		p, err := sinet.NewPropagatorFromTLE(tle)
+		if err != nil {
+			return err
+		}
+		props = append(props, p)
+		return nil
+	}
+	for _, ln := range lines {
+		trimmed := strings.TrimSpace(ln)
+		if trimmed == "" {
+			continue
+		}
+		block = append(block, ln)
+		if strings.HasPrefix(trimmed, "2 ") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(props) == 0 {
+		return nil, fmt.Errorf("no TLE sets found")
+	}
+	return props, nil
+}
+
+// sortPasses orders passes chronologically.
+func sortPasses(ps []sinet.Pass) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].AOS.Before(ps[j-1].AOS); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	sinet "github.com/sinet-io/sinet"
+)
+
+const issTLE = `ISS (ZARYA)
+1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927
+2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537`
+
+func TestParseTLEFileSingle(t *testing.T) {
+	props, err := parseTLEFile(issTLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 1 {
+		t.Fatalf("propagators = %d", len(props))
+	}
+	if props[0].Elements().NoradID != 25544 {
+		t.Error("wrong satellite")
+	}
+}
+
+func TestParseTLEFileMultiple(t *testing.T) {
+	epoch := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	cons := sinet.FOSSA(epoch)
+	text := ""
+	for _, e := range cons.Sats {
+		text += e.TLE().Format() + "\n"
+	}
+	props, err := parseTLEFile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != cons.Size() {
+		t.Fatalf("propagators = %d, want %d", len(props), cons.Size())
+	}
+}
+
+func TestParseTLEFileErrors(t *testing.T) {
+	if _, err := parseTLEFile(""); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := parseTLEFile("garbage\nmore garbage\n2 bad line"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadPropagatorsBuiltins(t *testing.T) {
+	epoch := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	for _, name := range []string{"Tianqi", "fossa", "PICO", "cstp"} {
+		props, err := loadPropagators("", name, epoch)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(props) == 0 {
+			t.Errorf("%s: no propagators", name)
+		}
+	}
+	if _, err := loadPropagators("", "starlink", epoch); err == nil {
+		t.Error("unknown constellation accepted")
+	}
+	if _, err := loadPropagators("/nonexistent/file.tle", "", epoch); err == nil {
+		t.Error("missing TLE file accepted")
+	}
+}
+
+func TestSortPasses(t *testing.T) {
+	base := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	ps := []sinet.Pass{
+		{Name: "c", AOS: base.Add(3 * time.Hour)},
+		{Name: "a", AOS: base},
+		{Name: "b", AOS: base.Add(time.Hour)},
+	}
+	sortPasses(ps)
+	if ps[0].Name != "a" || ps[1].Name != "b" || ps[2].Name != "c" {
+		t.Errorf("order = %s %s %s", ps[0].Name, ps[1].Name, ps[2].Name)
+	}
+	sortPasses(nil) // must not panic
+}

@@ -1,0 +1,138 @@
+// Command sinetsim runs a full passive measurement campaign (the paper's
+// §2.2/§3.1 deployment: up to 27 ground stations at 8 sites listening to
+// four constellations) and writes the packet-trace dataset plus a summary.
+//
+// Usage:
+//
+//	sinetsim [-days 7] [-seed 42] [-sites HK,SYD] [-constellations Tianqi,PICO]
+//	         [-scheduler tracking|roundrobin] [-csv traces.csv] [-json traces.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	sinet "github.com/sinet-io/sinet"
+	"github.com/sinet-io/sinet/internal/groundstation"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sinetsim: ")
+
+	days := flag.Int("days", 7, "campaign length, days")
+	seed := flag.Int64("seed", 42, "master random seed")
+	sitesArg := flag.String("sites", "", "comma-separated site codes (default: all 8)")
+	consArg := flag.String("constellations", "", "comma-separated constellation names (default: all 4)")
+	schedArg := flag.String("scheduler", "tracking", "station scheduler: tracking (customized) or roundrobin (vanilla TinyGS)")
+	csvPath := flag.String("csv", "", "write the trace dataset as CSV")
+	jsonPath := flag.String("json", "", "write the trace dataset as JSON")
+	honorStart := flag.Bool("honor-start", false, "delay sites to their Table 1 start months")
+	flag.Parse()
+
+	start := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	cfg := sinet.PassiveConfig{
+		Seed:           *seed,
+		Start:          start,
+		Days:           *days,
+		HonorSiteStart: *honorStart,
+	}
+
+	if *sitesArg == "" {
+		cfg.Sites = sinet.PaperSites()
+	} else {
+		for _, code := range strings.Split(*sitesArg, ",") {
+			s, ok := sinet.SiteByCode(strings.ToUpper(strings.TrimSpace(code)))
+			if !ok {
+				log.Fatalf("unknown site %q", code)
+			}
+			cfg.Sites = append(cfg.Sites, s)
+		}
+	}
+
+	all := sinet.AllConstellations(start)
+	if *consArg == "" {
+		cfg.Constellations = all
+	} else {
+		for _, name := range strings.Split(*consArg, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, c := range all {
+				if strings.EqualFold(c.Name, name) {
+					cfg.Constellations = append(cfg.Constellations, c)
+					found = true
+				}
+			}
+			if !found {
+				log.Fatalf("unknown constellation %q", name)
+			}
+		}
+	}
+
+	switch *schedArg {
+	case "tracking":
+		// Default (the paper's customized scheduler).
+	case "roundrobin":
+		var catalog []int
+		for _, c := range cfg.Constellations {
+			for _, s := range c.Sats {
+				catalog = append(catalog, s.NoradID)
+			}
+		}
+		cfg.Scheduler = groundstation.RoundRobinScheduler{Catalog: catalog, Slot: 10 * time.Minute}
+	default:
+		log.Fatalf("unknown scheduler %q", *schedArg)
+	}
+
+	fmt.Printf("running %d-day campaign: %d sites, %d constellations, scheduler=%s\n",
+		*days, len(cfg.Sites), len(cfg.Constellations), *schedArg)
+	t0 := time.Now()
+	res, err := sinet.RunPassive(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed in %v: %d trace records, %d contact windows\n\n",
+		time.Since(t0).Round(time.Millisecond), res.Dataset.Len(), len(res.Contacts))
+
+	fmt.Printf("%-6s %10s\n", "SITE", "TRACES")
+	for _, sc := range res.SiteTraceCounts() {
+		fmt.Printf("%-6s %10d\n", sc.Site.Code, sc.Traces)
+	}
+	fmt.Println()
+	for name, n := range res.Dataset.CountByConstellation() {
+		fmt.Printf("%-8s %8d traces", name, n)
+		sh := res.Shrinkage(name, "")
+		if sh.Contacts > 0 {
+			fmt.Printf("  window shrink %.1f%% over %d contacts", sh.ShrinkFraction*100, sh.Contacts)
+		}
+		fmt.Println()
+	}
+
+	if *csvPath != "" {
+		writeDataset(*csvPath, func(f *os.File) error { return res.Dataset.WriteCSV(f) })
+		fmt.Printf("\nwrote CSV dataset to %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		writeDataset(*jsonPath, func(f *os.File) error { return res.Dataset.WriteJSON(f) })
+		fmt.Printf("wrote JSON dataset to %s\n", *jsonPath)
+	}
+}
+
+// writeDataset creates the file and runs the encoder, failing fatally on
+// any error so partial datasets are never mistaken for complete ones.
+func writeDataset(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("create %s: %v", path, err)
+	}
+	if err := write(f); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close %s: %v", path, err)
+	}
+}

@@ -1,0 +1,72 @@
+package sinet_test
+
+import (
+	"fmt"
+	"time"
+
+	sinet "github.com/sinet-io/sinet"
+)
+
+// ExampleParseTLE parses a historical ISS element set and reads its
+// orbital parameters.
+func ExampleParseTLE() {
+	tle, err := sinet.ParseTLE(`ISS (ZARYA)
+1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927
+2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537`)
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	fmt.Printf("NORAD %d, inclination %.4f°, %.4f rev/day\n",
+		tle.NoradID, tle.InclinationDeg, tle.MeanMotion)
+	// Output:
+	// NORAD 25544, inclination 51.6416°, 15.7213 rev/day
+}
+
+// ExampleFootprintKm2 computes a LEO satellite's coverage area, the
+// quantity behind Table 3's footprint column.
+func ExampleFootprintKm2() {
+	horizonCap := sinet.FootprintKm2(550, 0)
+	masked := sinet.FootprintKm2(550, 5*3.14159265/180)
+	fmt.Printf("550 km footprint: %.2e km² at 0°, %.2e km² at 5°\n", horizonCap, masked)
+	// Output:
+	// 550 km footprint: 2.03e+07 km² at 0°, 1.32e+07 km² at 5°
+}
+
+// ExamplePaperAgricultureSatellite reproduces the Table 2 cost arithmetic.
+func ExamplePaperAgricultureSatellite() {
+	sat := sinet.PaperAgricultureSatellite()
+	terr := sinet.PaperAgricultureTerrestrial()
+	fmt.Printf("satellite: capital %v, per-node %v/month\n", sat.CapitalCost(), sat.MonthlyPerNode())
+	fmt.Printf("terrestrial: capital %v, total %v/month\n", terr.CapitalCost(), terr.MonthlyOperationalCost())
+	// Output:
+	// satellite: capital $660.00, per-node $23.76/month
+	// terrestrial: capital $762.00, total $14.70/month
+}
+
+// ExampleTianqi shows the synthetic Table 3 catalog.
+func ExampleTianqi() {
+	epoch := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	tq := sinet.Tianqi(epoch)
+	fmt.Printf("%s: %d satellites on %.2f MHz\n", tq.Name, tq.Size(), tq.FreqMHz)
+	fmt.Printf("first satellite: %s\n", tq.Sats[0].Name)
+	// Output:
+	// Tianqi: 22 satellites on 400.45 MHz
+	// first satellite: TIANQI-A-01
+}
+
+// ExampleNewPassPredictor predicts contact windows — the deterministic
+// geometry underlying every availability analysis.
+func ExampleNewPassPredictor() {
+	epoch := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	prop, err := sinet.NewPropagator(sinet.FOSSA(epoch).Sats[0])
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	hk := sinet.LatLon(22.3193, 114.1694, 0)
+	passes := sinet.NewPassPredictor(prop).Passes(hk, epoch, epoch.Add(24*time.Hour), 0)
+	fmt.Printf("passes over Hong Kong in 24 h: %d\n", len(passes))
+	// Output:
+	// passes over Hong Kong in 24 h: 4
+}

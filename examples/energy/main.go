@@ -1,0 +1,65 @@
+// Energy reproduces the paper's battery study (Fig. 6, 10, 11) and then
+// evaluates the optimization the paper calls for: letting the node sleep
+// between transmission bursts instead of hanging on in Rx.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sinet "github.com/sinet-io/sinet"
+)
+
+func main() {
+	log.SetFlags(0)
+	const days = 5
+
+	stock, err := sinet.RunActive(sinet.ActiveConfig{
+		Seed: 42, Days: days, Policy: sinet.DefaultRetxPolicy(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimized, err := sinet.RunActive(sinet.ActiveConfig{
+		Seed: 42, Days: days, Policy: sinet.DefaultRetxPolicy(),
+		SleepWhenIdle: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	terr, err := sinet.RunTerrestrial(sinet.TerrestrialConfig{Seed: 42, Days: days})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	battery := sinet.DefaultBattery()
+	ecStock := sinet.CompareEnergy(stock, terr, battery)
+	ecOpt := sinet.CompareEnergy(optimized, terr, battery)
+
+	fmt.Printf("battery: %.0f mAh @ %.1f V = %.0f mWh\n\n", battery.CapacityMAh, battery.VoltageV, battery.EnergyMWh())
+
+	fmt.Println("stock Tianqi node (paper behaviour — Rx hangs on waiting for passes):")
+	for _, b := range ecStock.SatBreakdown {
+		fmt.Printf("  %-8s power %7.1f mW   time %5.1f%%   energy %5.1f%%\n",
+			b.Mode, b.AvgPowerMW, b.TimeFrac*100, b.EnergyFrac*100)
+	}
+	fmt.Printf("  average draw %.1f mW → lifetime %.1f days\n\n", ecStock.SatAvgPowerMW, ecStock.SatLifetimeDays)
+
+	fmt.Println("terrestrial LoRaWAN node (Fig. 10/11):")
+	for _, b := range ecStock.TerrBreakdown {
+		fmt.Printf("  %-8s power %7.1f mW   time %5.1f%%   energy %5.1f%%\n",
+			b.Mode, b.AvgPowerMW, b.TimeFrac*100, b.EnergyFrac*100)
+	}
+	fmt.Printf("  average draw %.1f mW → lifetime %.1f days\n\n", ecStock.TerrAvgPowerMW, ecStock.TerrLifetimeDays)
+
+	fmt.Printf("drain ratio stock vs terrestrial: %.1fx (paper: 14.9x)\n\n", ecStock.PowerRatio)
+
+	fmt.Println("with the sleep-when-idle optimization the paper calls for:")
+	fmt.Printf("  average draw %.1f mW → lifetime %.1f days (%.1fx better than stock)\n",
+		ecOpt.SatAvgPowerMW, ecOpt.SatLifetimeDays, ecStock.SatAvgPowerMW/ecOpt.SatAvgPowerMW)
+	fmt.Printf("  reliability impact: %.1f%% vs %.1f%% stock\n",
+		optimized.Reliability()*100, stock.Reliability()*100)
+
+	fmt.Println("\nthe bottleneck is exactly the paper's: the Rx radio hanging on for")
+	fmt.Println("satellite passes dominates the budget, not the 2.2x transmit power.")
+}

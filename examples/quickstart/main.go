@@ -1,0 +1,63 @@
+// Quickstart walks the SINet public API end to end: build a constellation,
+// predict passes over a site, run a one-day passive campaign, and inspect
+// the availability gap the paper reports.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sinet "github.com/sinet-io/sinet"
+)
+
+func main() {
+	log.SetFlags(0)
+	epoch := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+
+	// 1. A constellation from the paper's Table 3 and its orbits.
+	tianqi := sinet.Tianqi(epoch)
+	fmt.Printf("constellation: %v (mean altitude %.0f km)\n", tianqi, tianqi.MeanAltitudeKm())
+
+	// 2. Predict today's passes of its first satellite over Hong Kong.
+	prop, err := sinet.NewPropagator(tianqi.Sats[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	hk := sinet.LatLon(22.3193, 114.1694, 0)
+	passes := sinet.NewPassPredictor(prop).Passes(hk, epoch, epoch.Add(24*time.Hour), 0)
+	fmt.Printf("\n%s passes over Hong Kong in 24 h: %d\n", tianqi.Sats[0].Name, len(passes))
+	for _, p := range passes {
+		fmt.Printf("  AOS %s  dur %-7s maxEl %5.1f°\n",
+			p.AOS.Format("15:04:05"), p.Duration().Round(time.Second), p.MaxElevationDeg())
+	}
+
+	// 3. A TLE round trip, exactly as you would feed CelesTrak data in.
+	card := tianqi.Sats[0].TLE().Format()
+	fmt.Printf("\ngenerated TLE card:\n%s\n", card)
+	if _, err := sinet.ParseTLE(card); err != nil {
+		log.Fatalf("round trip failed: %v", err)
+	}
+
+	// 4. A one-day passive measurement campaign at that site.
+	site, _ := sinet.SiteByCode("HK")
+	res, err := sinet.RunPassive(sinet.PassiveConfig{
+		Seed:           42,
+		Start:          epoch,
+		Days:           1,
+		Sites:          []sinet.Site{site},
+		Constellations: []sinet.Constellation{tianqi},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sh := res.Shrinkage("Tianqi", "HK")
+	fmt.Printf("campaign: %d beacons received over %d contact windows\n", res.Dataset.Len(), len(res.Contacts))
+	fmt.Printf("mean contact window: theoretical %v → effective %v (shrink %.1f%%)\n",
+		sh.MeanTheoretical.Round(time.Second), sh.MeanEffective.Round(time.Second), sh.ShrinkFraction*100)
+	fmt.Printf("daily availability: theoretical %.1f h → effective %.1f h\n",
+		res.TheoreticalDailyDuration("Tianqi", "HK").Hours(),
+		res.EffectiveDailyDuration("Tianqi", "HK").Hours())
+	fmt.Println("\nthe paper's headline: effective DtS service time is <20% of the TLE prediction.")
+}

@@ -1,0 +1,3 @@
+module github.com/sinet-io/sinet
+
+go 1.22

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sinet-io/sinet/internal/channel"
+)
+
+func TestDtSBudgetsComposition(t *testing.T) {
+	down := DtSDownlinkBudget(22)
+	if down.TxPowerDBm != 22 {
+		t.Error("downlink tx power not threaded")
+	}
+	if down.ImplLossDB != DtSSystemLossDB {
+		t.Error("downlink must carry the DtS system loss")
+	}
+
+	up := DtSUplinkBudget(22, channel.FiveEighthsWave)
+	if up.TxAntenna.GainDB != channel.FiveEighthsWave.GainDB {
+		t.Error("uplink must use the node's whip on the TX side")
+	}
+	if up.ImplLossDB != DtSSystemLossDB {
+		t.Error("uplink system loss")
+	}
+
+	ack := DtSAckBudget(22, channel.FiveEighthsWave)
+	if ack.ImplLossDB != DtSSystemLossDB+AckPenaltyDB {
+		t.Error("ACK path must carry the extra penalty")
+	}
+	beacon := DtSBeaconToNodeBudget(22, channel.FiveEighthsWave)
+	if beacon.ImplLossDB != DtSSystemLossDB {
+		t.Error("beacon path must not carry the ACK penalty")
+	}
+}
+
+func TestNodeRxAntennaNeutralized(t *testing.T) {
+	// External-noise-limited reception: antenna gain must not appear on
+	// the node's receive side, for any whip.
+	for _, ant := range []channel.Antenna{channel.QuarterWave, channel.FiveEighthsWave} {
+		b := DtSBeaconToNodeBudget(22, ant)
+		if b.RxAntenna.GainDB != 0 {
+			t.Errorf("%s: RX gain %v, want 0 (ext-noise-limited)", ant.Name, b.RxAntenna.GainDB)
+		}
+		a := DtSAckBudget(22, ant)
+		if a.RxAntenna.GainDB != 0 {
+			t.Errorf("%s: ACK RX gain %v", ant.Name, a.RxAntenna.GainDB)
+		}
+	}
+	// But the TX side keeps the difference (Fig. 5b's mechanism).
+	upQ := DtSUplinkBudget(22, channel.QuarterWave)
+	up5 := DtSUplinkBudget(22, channel.FiveEighthsWave)
+	if up5.TxAntenna.GainDB-upQ.TxAntenna.GainDB != 3 {
+		t.Error("uplink antenna delta must be 3 dB")
+	}
+}
+
+func TestBeaconGatedSelectionSymmetry(t *testing.T) {
+	// A beacon-decoded moment must predict uplink viability: at identical
+	// geometry, the mean downlink and uplink budgets differ only by the
+	// antenna gains (system losses are shared).
+	down := DtSDownlinkBudget(22)
+	up := DtSUplinkBudget(22, channel.FiveEighthsWave)
+	dRSSI := down.MeanRSSI(1200, 400.45, 0.5, channel.Sunny)
+	uRSSI := up.MeanRSSI(1200, 400.45, 0.5, channel.Sunny)
+	delta := uRSSI - dRSSI
+	// up: +3 whip TX, +2 sat dipole RX; down: +2 dipole TX, +2 TinyGS RX
+	// → expected delta = (3+2) − (2+2) = 1 dB.
+	if delta < 0.5 || delta > 1.5 {
+		t.Errorf("uplink-downlink mean RSSI delta = %.2f dB, want ≈1", delta)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/constellation"
+	"github.com/sinet-io/sinet/internal/orbit"
+)
+
+// RevisitStats answers the §3.1 question "can a constellation offer IoT
+// connectivity anytime, anywhere?" quantitatively for one latitude: how
+// long a ground device waits between theoretical contact opportunities.
+type RevisitStats struct {
+	LatitudeDeg float64
+	// DailyCoverage is the mean per-day union visibility duration.
+	DailyCoverage time.Duration
+	// MeanGap / MaxGap are the waits between consecutive contact windows.
+	MeanGap time.Duration
+	MaxGap  time.Duration
+	Passes  int
+}
+
+// String implements fmt.Stringer.
+func (r RevisitStats) String() string {
+	return fmt.Sprintf("lat %+5.1f°: %v/day coverage, gaps mean %v max %v (%d passes)",
+		r.LatitudeDeg, r.DailyCoverage.Round(time.Minute),
+		r.MeanGap.Round(time.Minute), r.MaxGap.Round(time.Minute), r.Passes)
+}
+
+// RevisitAnalysis sweeps test sites across latitudes (at longitude 0) and
+// computes the constellation's theoretical coverage and revisit gaps over
+// the given number of days. It is purely geometric — the optimistic bound
+// that §3.1 then shows collapsing once real link budgets apply.
+func RevisitAnalysis(cons constellation.Constellation, latitudesDeg []float64, start time.Time, days int) ([]RevisitStats, error) {
+	props, err := cons.Propagators()
+	if err != nil {
+		return nil, err
+	}
+	end := start.Add(time.Duration(days) * 24 * time.Hour)
+	out := make([]RevisitStats, 0, len(latitudesDeg))
+	for _, lat := range latitudesDeg {
+		site := orbit.NewGeodeticDeg(lat, 0, 0)
+		var passes []orbit.Pass
+		for _, p := range props {
+			pp := orbit.NewPassPredictor(p)
+			pp.CoarseStep = time.Minute
+			passes = append(passes, pp.Passes(site, start, end, 0)...)
+		}
+		windows := orbit.MergeWindows(passes)
+		gaps := orbit.Gaps(windows)
+
+		stats := RevisitStats{LatitudeDeg: lat, Passes: len(passes)}
+		if days > 0 {
+			stats.DailyCoverage = orbit.TotalDuration(windows) / time.Duration(days)
+		}
+		var sum time.Duration
+		for _, g := range gaps {
+			sum += g
+			if g > stats.MaxGap {
+				stats.MaxGap = g
+			}
+		}
+		if len(gaps) > 0 {
+			stats.MeanGap = sum / time.Duration(len(gaps))
+		}
+		out = append(out, stats)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/constellation"
+)
+
+func TestRevisitAnalysisTianqi(t *testing.T) {
+	cons := constellation.Tianqi(campaignStart)
+	stats, err := RevisitAnalysis(cons, []float64{0, 25, 50, 75}, campaignStart, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("rows = %d", len(stats))
+	}
+	for _, s := range stats {
+		if s.DailyCoverage < 0 || s.DailyCoverage > 24*time.Hour {
+			t.Errorf("lat %.0f: daily coverage %v out of range", s.LatitudeDeg, s.DailyCoverage)
+		}
+		if s.MaxGap < s.MeanGap {
+			t.Errorf("lat %.0f: max gap below mean gap", s.LatitudeDeg)
+		}
+		if s.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+
+	// Tianqi's main shell inclines at 49.97°: coverage near 50° latitude
+	// must beat the equator (orbital geometry concentrates ground tracks
+	// near the inclination latitude).
+	byLat := map[float64]RevisitStats{}
+	for _, s := range stats {
+		byLat[s.LatitudeDeg] = s
+	}
+	if byLat[50].DailyCoverage <= byLat[0].DailyCoverage {
+		t.Errorf("coverage at 50° (%v) not above equator (%v)",
+			byLat[50].DailyCoverage, byLat[0].DailyCoverage)
+	}
+	// At 75° only the two SSO satellites reach: coverage collapses
+	// relative to 50°.
+	if byLat[75].DailyCoverage >= byLat[50].DailyCoverage {
+		t.Errorf("coverage at 75° (%v) not below 50° (%v)",
+			byLat[75].DailyCoverage, byLat[50].DailyCoverage)
+	}
+}
+
+func TestRevisitAnalysisPolarFleet(t *testing.T) {
+	// A sun-synchronous fleet (97.7°) covers the poles better than the
+	// equator — the opposite profile to Tianqi's mid-inclination shell.
+	cons := constellation.PICO(campaignStart)
+	stats, err := RevisitAnalysis(cons, []float64{0, 80}, campaignStart, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[1].DailyCoverage <= stats[0].DailyCoverage {
+		t.Errorf("polar coverage %v not above equatorial %v for an SSO fleet",
+			stats[1].DailyCoverage, stats[0].DailyCoverage)
+	}
+}
+
+func TestRevisitAnalysisEmpty(t *testing.T) {
+	cons := constellation.TianqiSubset(campaignStart, 0)
+	stats, err := RevisitAnalysis(cons, []float64{10}, campaignStart, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Passes != 0 || stats[0].DailyCoverage != 0 {
+		t.Errorf("empty fleet produced coverage: %+v", stats[0])
+	}
+	if math.IsNaN(float64(stats[0].MeanGap)) {
+		t.Error("NaN gap")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/constellation"
+	"github.com/sinet-io/sinet/internal/mac"
+)
+
+// TestSatBufferPressure injects on-board buffer exhaustion — the paper's
+// "satellite resource constraints" loss cause — and checks that drops are
+// accounted and reliability suffers relative to an unconstrained buffer.
+func TestSatBufferPressure(t *testing.T) {
+	run := func(capacity int) (*ActiveResult, error) {
+		return RunActive(ActiveConfig{
+			Seed: 33, Days: 2,
+			Policy:            mac.DefaultRetxPolicy(),
+			SatBufferCapacity: capacity,
+		})
+	}
+	tight, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomy, err := run(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roomy.BufferDrops != 0 {
+		t.Errorf("roomy buffer dropped %d packets", roomy.BufferDrops)
+	}
+	if tight.BufferDrops == 0 {
+		t.Error("capacity-1 buffer never dropped despite 3 nodes per drain cycle")
+	}
+	if tight.Reliability() >= roomy.Reliability() {
+		t.Errorf("buffer pressure did not hurt reliability: %.3f vs %.3f",
+			tight.Reliability(), roomy.Reliability())
+	}
+}
+
+// TestCaptureDisabledHurtsConcurrency verifies the collision-model
+// ablation end to end: without capture, simultaneous transmissions are
+// all lost, so aligned nodes deliver less.
+func TestCaptureDisabledHurtsConcurrency(t *testing.T) {
+	run := func(capture bool) (*ActiveResult, error) {
+		return RunActive(ActiveConfig{
+			Seed: 17, Days: 3, Nodes: 3,
+			Policy: mac.NoRetxPolicy(), AlignedPhases: true,
+			Collisions: mac.CollisionModel{CaptureThresholdDB: 6, CaptureEnabled: capture},
+		})
+	}
+	with, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.MacStats.Collisions < with.MacStats.Collisions {
+		t.Errorf("capture-off collisions %d below capture-on %d",
+			without.MacStats.Collisions, with.MacStats.Collisions)
+	}
+	if without.Reliability() > with.Reliability() {
+		t.Errorf("disabling capture improved reliability: %.3f vs %.3f",
+			without.Reliability(), with.Reliability())
+	}
+}
+
+// TestActiveEmptyConstellation degenerates gracefully: a constellation
+// with zero satellites yields zero deliveries, not a crash.
+func TestActiveEmptyConstellation(t *testing.T) {
+	empty := constellation.TianqiSubset(time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC), 0)
+	res, err := RunActive(ActiveConfig{
+		Seed: 1, Days: 1, Policy: mac.DefaultRetxPolicy(),
+		Constellation: &empty,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability() != 0 {
+		t.Errorf("deliveries with zero satellites: %.3f", res.Reliability())
+	}
+	// Readings were still generated, just never uplinked.
+	if len(res.Packets) == 0 {
+		t.Error("no packets generated")
+	}
+	for _, p := range res.Packets {
+		if !p.FirstAttemptAt.IsZero() {
+			t.Error("attempt without satellites")
+		}
+	}
+}
+
+// TestActiveSingleNodeNoCollisions: one node can never collide.
+func TestActiveSingleNodeNoCollisions(t *testing.T) {
+	res, err := RunActive(ActiveConfig{
+		Seed: 2, Days: 2, Nodes: 1, Policy: mac.DefaultRetxPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MacStats.Collisions != 0 {
+		t.Errorf("single node recorded %d collisions", res.MacStats.Collisions)
+	}
+	for _, p := range res.Packets {
+		if p.MaxConcurrency > 1 {
+			t.Error("concurrency above 1 with one node")
+		}
+	}
+}
+
+// TestPassiveZeroStationSite: a site with no stations yields no coverage.
+func TestPassiveZeroStationSite(t *testing.T) {
+	ghost := Site{Code: "GHOST", City: "Nowhere", Location: YunnanPlantation(), Stations: 0}
+	res, err := RunPassive(PassiveConfig{
+		Seed: 3, Start: campaignStart, Days: 1,
+		Sites:          []Site{ghost},
+		Constellations: []constellation.Constellation{constellation.FOSSA(campaignStart)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset.Len() != 0 {
+		t.Errorf("station-less site captured %d traces", res.Dataset.Len())
+	}
+	for _, c := range res.Contacts {
+		if c.Covered {
+			t.Error("contact marked covered with zero stations")
+		}
+	}
+}

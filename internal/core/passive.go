@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/channel"
+	"github.com/sinet-io/sinet/internal/constellation"
+	"github.com/sinet-io/sinet/internal/groundstation"
+	"github.com/sinet-io/sinet/internal/lora"
+	"github.com/sinet-io/sinet/internal/orbit"
+	"github.com/sinet-io/sinet/internal/radio"
+	"github.com/sinet-io/sinet/internal/satellite"
+	"github.com/sinet-io/sinet/internal/sim"
+	"github.com/sinet-io/sinet/internal/trace"
+)
+
+// PassiveConfig configures a §3.1-style passive measurement campaign.
+type PassiveConfig struct {
+	// Seed drives every random stream in the campaign.
+	Seed int64
+	// Start and Days bound the campaign window.
+	Start time.Time
+	Days  int
+	// Sites to deploy at (defaults to the four continent sites).
+	Sites []Site
+	// Constellations to measure (defaults to all four).
+	Constellations []constellation.Constellation
+	// Scheduler decides station-satellite tuning (defaults to the paper's
+	// customized tracking scheduler).
+	Scheduler groundstation.Scheduler
+	// MinElevationRad is the theoretical-visibility mask (default 0°,
+	// matching TLE-based presence computations).
+	MinElevationRad float64
+	// CoarseStep is the pass-search scan step (default 60 s).
+	CoarseStep time.Duration
+	// HonorSiteStart delays each site to its Table 1 start month when the
+	// campaign window begins earlier.
+	HonorSiteStart bool
+	// Weather pins the sky state for controlled experiments; nil uses
+	// each site's stochastic weather process.
+	Weather WeatherProvider
+}
+
+func (c *PassiveConfig) setDefaults() {
+	if c.Days <= 0 {
+		c.Days = 1
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if len(c.Sites) == 0 {
+		c.Sites = ContinentSites()
+	}
+	if len(c.Constellations) == 0 {
+		c.Constellations = constellation.All(c.Start)
+	}
+	if c.Scheduler == nil {
+		c.Scheduler = groundstation.TrackingScheduler{}
+	}
+	if c.CoarseStep <= 0 {
+		c.CoarseStep = 60 * time.Second
+	}
+}
+
+// ContactStat summarizes one theoretical contact window and what the
+// ground segment actually received during it.
+type ContactStat struct {
+	Site          string
+	Constellation string
+	SatName       string
+	NoradID       int
+
+	Pass orbit.Pass
+
+	// Covered reports whether the scheduler had any station tuned to the
+	// satellite during the pass.
+	Covered bool
+
+	BeaconsSent     int
+	BeaconsReceived int
+	FirstRx, LastRx time.Time
+
+	// RxPositions are the window-relative positions (0..1) of received
+	// beacons, feeding the Fig. 9 histogram.
+	RxPositions []float64
+
+	// WeatherAtTCA is the sky state at closest approach.
+	WeatherAtTCA channel.Weather
+}
+
+// TheoreticalDuration is the TLE-predicted visibility span.
+func (c ContactStat) TheoreticalDuration() time.Duration { return c.Pass.Duration() }
+
+// EffectiveDuration is the span between first and last received beacons
+// (zero when fewer than one beacon was received).
+func (c ContactStat) EffectiveDuration() time.Duration {
+	if c.FirstRx.IsZero() || c.LastRx.Before(c.FirstRx) {
+		return 0
+	}
+	return c.LastRx.Sub(c.FirstRx)
+}
+
+// ReceptionRatio is received/sent beacons for the contact.
+func (c ContactStat) ReceptionRatio() float64 {
+	if c.BeaconsSent == 0 {
+		return 0
+	}
+	return float64(c.BeaconsReceived) / float64(c.BeaconsSent)
+}
+
+// PassiveResult is a completed passive campaign.
+type PassiveResult struct {
+	Config   PassiveConfig
+	Dataset  *trace.Dataset
+	Contacts []ContactStat
+}
+
+// RunPassive executes the campaign and returns its dataset and per-contact
+// statistics. The work is deterministic for a given config.
+func RunPassive(cfg PassiveConfig) (*PassiveResult, error) {
+	cfg.setDefaults()
+	res := &PassiveResult{Config: cfg, Dataset: &trace.Dataset{}}
+	end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+
+	for _, site := range cfg.Sites {
+		start := cfg.Start
+		if cfg.HonorSiteStart && site.StartMonth.After(start) {
+			start = site.StartMonth
+		}
+		if !end.After(start) {
+			continue
+		}
+		var weather WeatherProvider
+		if cfg.Weather != nil {
+			weather = cfg.Weather
+		} else {
+			weather = NewWeatherProcess(sim.NewRNG(cfg.Seed, "weather/"+site.Code), site, start, cfg.Days)
+		}
+		stations := site.BuildStations()
+
+		for _, cons := range cfg.Constellations {
+			if err := runPassiveSiteConstellation(cfg, res, site, stations, cons, weather, start, end); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Dataset.SortByTime()
+	return res, nil
+}
+
+// runPassiveSiteConstellation simulates one (site, constellation) pair.
+func runPassiveSiteConstellation(cfg PassiveConfig, res *PassiveResult, site Site, stations []groundstation.Station, cons constellation.Constellation, weather WeatherProvider, start, end time.Time) error {
+	props, err := cons.Propagators()
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+
+	// Predict all passes of the constellation over the site.
+	var passes []orbit.Pass
+	gateways := make(map[int]*satellite.Gateway, len(props))
+	for _, p := range props {
+		pp := orbit.NewPassPredictor(p)
+		pp.CoarseStep = cfg.CoarseStep
+		passes = append(passes, pp.Passes(site.Location, start, end, cfg.MinElevationRad)...)
+		gateways[p.Elements().NoradID] = satellite.NewGateway(p, cons.BeaconInterval, 0)
+	}
+
+	plan := cfg.Scheduler.Plan(stations, passes, start, end)
+
+	// Station-side receive chains: one channel realization per station.
+	links := make(map[string]*radio.Link, len(stations))
+	stationByID := make(map[string]groundstation.Station, len(stations))
+	for _, st := range stations {
+		model := channel.NewModel(sim.NewRNG(cfg.Seed, "chan/"+st.ID+"/"+cons.Name))
+		model.ShadowSigmaDB = 1.8
+		links[st.ID] = radio.NewLink(lora.DefaultDtSParams(), DtSDownlinkBudget(cons.TxPowerDBm), model, cons.FreqMHz, sim.NewRNG(cfg.Seed, "rx/"+st.ID+"/"+cons.Name))
+		stationByID[st.ID] = st
+	}
+
+	for _, pass := range passes {
+		gw := gateways[pass.NoradID]
+		stat := ContactStat{
+			Site:          site.Code,
+			Constellation: cons.Name,
+			SatName:       pass.Name,
+			NoradID:       pass.NoradID,
+			Pass:          pass,
+			WeatherAtTCA:  weather.At(pass.TCA),
+		}
+		for _, bt := range gw.BeaconTimes(pass.AOS, pass.LOS) {
+			// Which station is tuned to this satellite now?
+			var covering *groundstation.Station
+			for i := range plan {
+				if plan[i].Covers(pass.NoradID, bt) {
+					st := stationByID[plan[i].StationID]
+					covering = &st
+					break
+				}
+			}
+			if covering == nil {
+				continue
+			}
+			stat.Covered = true
+			stat.BeaconsSent++
+
+			la, err := gw.GeometryAt(covering.Location, bt)
+			if err != nil {
+				continue
+			}
+			if la.Elevation < covering.MinElevationRad {
+				continue
+			}
+			w := weather.At(bt)
+			rc := links[covering.ID].Transmit(radio.Geometry{
+				At:           bt,
+				DistanceKm:   la.RangeKm,
+				ElevationRad: la.Elevation,
+				RangeRateKmS: la.RangeRate,
+			}, w, cons.BeaconPayloadBytes)
+			if !rc.Decoded {
+				continue
+			}
+
+			stat.BeaconsReceived++
+			if stat.FirstRx.IsZero() {
+				stat.FirstRx = bt
+			}
+			stat.LastRx = bt
+			if d := pass.Duration(); d > 0 {
+				stat.RxPositions = append(stat.RxPositions, float64(bt.Sub(pass.AOS))/float64(d))
+			}
+
+			alt, _ := gw.AltitudeAt(bt)
+			res.Dataset.Add(trace.Record{
+				At:            bt,
+				Kind:          trace.KindBeacon,
+				Station:       covering.ID,
+				Site:          site.Code,
+				Constellation: cons.Name,
+				SatName:       pass.Name,
+				NoradID:       pass.NoradID,
+				FreqMHz:       cons.FreqMHz,
+				RSSIDBm:       rc.RSSIDBm,
+				SNRDB:         rc.SNRDB,
+				ElevationDeg:  la.ElevationDeg(),
+				AzimuthDeg:    la.AzimuthDeg(),
+				RangeKm:       la.RangeKm,
+				SatAltKm:      alt,
+				DopplerHz:     rc.DopplerHz,
+				PayloadBytes:  cons.BeaconPayloadBytes,
+				Weather:       w.String(),
+			})
+		}
+		res.Contacts = append(res.Contacts, stat)
+	}
+	return nil
+}

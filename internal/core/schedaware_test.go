@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sinet-io/sinet/internal/mac"
+)
+
+// TestScheduleAwareSleeping verifies the deeper energy optimization: a
+// node that propagates the constellation itself and wakes only for high
+// passes slashes Rx time at a bounded reliability/latency cost.
+func TestScheduleAwareSleeping(t *testing.T) {
+	stock, err := RunActive(ActiveConfig{Seed: 9, Days: 2, Policy: mac.DefaultRetxPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := RunActive(ActiveConfig{
+		Seed: 9, Days: 2, Policy: mac.DefaultRetxPolicy(),
+		ScheduleAwareMinElevationRad: 0.35, // ≈20°
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stockP, _ := AverageMeters(stock.Meters)
+	awareP, _ := AverageMeters(aware.Meters)
+	if awareP >= stockP/2 {
+		t.Errorf("schedule-aware power %.1f mW, want well below half of stock %.1f mW", awareP, stockP)
+	}
+	if aware.Reliability() < stock.Reliability()-0.15 {
+		t.Errorf("schedule-aware reliability %.3f collapsed vs stock %.3f",
+			aware.Reliability(), stock.Reliability())
+	}
+	if aware.Reliability() < 0.7 {
+		t.Errorf("schedule-aware reliability %.3f too low to be a viable optimization", aware.Reliability())
+	}
+}

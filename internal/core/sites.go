@@ -1,0 +1,92 @@
+// Package core implements the paper's primary contribution: the passive
+// and active measurement campaigns and the analyses that produce every
+// table and figure of the evaluation. The passive campaign reproduces §3.1
+// (availability, contact windows, beacon losses) across the eight global
+// sites; the active campaign reproduces §3.2 (reliability, latency,
+// energy, cost) for the Yunnan agriculture deployment.
+package core
+
+import (
+	"time"
+
+	"github.com/sinet-io/sinet/internal/groundstation"
+	"github.com/sinet-io/sinet/internal/orbit"
+)
+
+// Site is one measurement city from Table 1 / Figure 2.
+type Site struct {
+	Code     string
+	City     string
+	Location orbit.Geodetic
+	// Stations is the number of ground stations deployed there (Table 1).
+	Stations int
+	// StartMonth is when that site's deployment came online.
+	StartMonth time.Time
+	// RainProbability parameterizes the site's weather process (fraction
+	// of six-hour periods that are wet), reflecting Table 1's "diverse
+	// climate conditions".
+	RainProbability float64
+}
+
+// PaperSites returns the eight deployments of Table 1: 27 ground stations
+// across four continents.
+func PaperSites() []Site {
+	month := func(y int, m time.Month) time.Time {
+		return time.Date(y, m, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return []Site{
+		{Code: "PGH", City: "Pittsburgh", Location: orbit.NewGeodeticDeg(40.44, -79.99, 0.3), Stations: 3, StartMonth: month(2025, 2), RainProbability: 0.35},
+		{Code: "LDN", City: "London", Location: orbit.NewGeodeticDeg(51.51, -0.13, 0.03), Stations: 5, StartMonth: month(2025, 2), RainProbability: 0.40},
+		{Code: "SH", City: "Shanghai", Location: orbit.NewGeodeticDeg(31.23, 121.47, 0.01), Stations: 2, StartMonth: month(2024, 10), RainProbability: 0.33},
+		{Code: "GZ", City: "Guangzhou", Location: orbit.NewGeodeticDeg(23.13, 113.26, 0.02), Stations: 2, StartMonth: month(2024, 9), RainProbability: 0.38},
+		{Code: "SYD", City: "Sydney", Location: orbit.NewGeodeticDeg(-33.87, 151.21, 0.02), Stations: 4, StartMonth: month(2025, 1), RainProbability: 0.28},
+		{Code: "HK", City: "Hong Kong", Location: orbit.NewGeodeticDeg(22.32, 114.17, 0.05), Stations: 6, StartMonth: month(2024, 9), RainProbability: 0.37},
+		{Code: "NC", City: "Nanchang", Location: orbit.NewGeodeticDeg(28.68, 115.86, 0.03), Stations: 1, StartMonth: month(2024, 11), RainProbability: 0.36},
+		{Code: "YC", City: "Yinchuan", Location: orbit.NewGeodeticDeg(38.49, 106.23, 1.1), Stations: 4, StartMonth: month(2024, 9), RainProbability: 0.12},
+	}
+}
+
+// SiteByCode returns the Table 1 site with the given code, or ok=false.
+func SiteByCode(code string) (Site, bool) {
+	for _, s := range PaperSites() {
+		if s.Code == code {
+			return s, true
+		}
+	}
+	return Site{}, false
+}
+
+// ContinentSites returns the four sites §3.1 analyses in depth: Hong Kong
+// (Asia), Sydney (Australia), London (Europe), Pittsburgh (North America).
+func ContinentSites() []Site {
+	var out []Site
+	for _, code := range []string{"HK", "SYD", "LDN", "PGH"} {
+		s, _ := SiteByCode(code)
+		out = append(out, s)
+	}
+	return out
+}
+
+// YunnanPlantation is the coffee-plantation deployment of the active
+// measurements (Appendix B: Yunnan province near the border of China).
+func YunnanPlantation() orbit.Geodetic {
+	return orbit.NewGeodeticDeg(22.0, 100.8, 1.3)
+}
+
+// BuildStations instantiates the site's ground stations with small spatial
+// offsets (stations at one site are deployed on different rooftops).
+func (s Site) BuildStations() []groundstation.Station {
+	out := make([]groundstation.Station, 0, s.Stations)
+	for i := 0; i < s.Stations; i++ {
+		loc := orbit.NewGeodeticDeg(
+			s.Location.LatDeg()+0.01*float64(i%3),
+			s.Location.LonDeg()+0.008*float64(i/3),
+			s.Location.Alt)
+		out = append(out, groundstation.Station{
+			ID:       s.Code + "-" + string(rune('1'+i)),
+			Site:     s.Code,
+			Location: loc,
+		})
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/energy"
+	"github.com/sinet-io/sinet/internal/orbit"
+	"github.com/sinet-io/sinet/internal/sim"
+	"github.com/sinet-io/sinet/internal/terrestrial"
+)
+
+// TerrestrialConfig configures the §3.2 comparison baseline: the same
+// sensors served by a local LoRaWAN + LTE deployment.
+type TerrestrialConfig struct {
+	Seed  int64
+	Start time.Time
+	Days  int
+
+	Nodes        int
+	PayloadBytes int
+	SensePeriod  time.Duration
+	Gateways     int
+	// Weather pins the sky; nil uses the Yunnan process.
+	Weather WeatherProvider
+}
+
+func (c *TerrestrialConfig) setDefaults() {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Days <= 0 {
+		c.Days = 1
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 20
+	}
+	if c.SensePeriod <= 0 {
+		c.SensePeriod = 30 * time.Minute
+	}
+	if c.Gateways <= 0 {
+		c.Gateways = 3
+	}
+}
+
+// TerrestrialPacket traces one reading through the terrestrial system.
+type TerrestrialPacket struct {
+	Node        string
+	SeqID       uint64
+	GeneratedAt time.Time
+	ServerAt    time.Time // zero = lost
+}
+
+// Delivered reports end-to-end success.
+func (p TerrestrialPacket) Delivered() bool { return !p.ServerAt.IsZero() }
+
+// Latency returns generation→server, valid only when delivered.
+func (p TerrestrialPacket) Latency() (time.Duration, bool) {
+	if p.ServerAt.IsZero() {
+		return 0, false
+	}
+	return p.ServerAt.Sub(p.GeneratedAt), true
+}
+
+// TerrestrialResult is a completed terrestrial campaign.
+type TerrestrialResult struct {
+	Config  TerrestrialConfig
+	Packets []TerrestrialPacket
+	Meters  map[string]*energy.Meter
+}
+
+// RunTerrestrial executes the baseline campaign. Terrestrial links need no
+// discrete-event machinery: every reading transmits immediately to the
+// nearest gateway.
+func RunTerrestrial(cfg TerrestrialConfig) (*TerrestrialResult, error) {
+	cfg.setDefaults()
+	site := YunnanPlantation()
+	end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+
+	var weather WeatherProvider
+	if cfg.Weather != nil {
+		weather = cfg.Weather
+	} else {
+		yunnan := Site{Code: "YN", City: "Yunnan", Location: site, RainProbability: 0.30}
+		weather = NewWeatherProcess(sim.NewRNG(cfg.Seed, "terr/weather"), yunnan, cfg.Start, cfg.Days)
+	}
+
+	deployment := terrestrial.NewDeployment(cfg.Gateways, site, cfg.Seed)
+	res := &TerrestrialResult{Config: cfg, Meters: map[string]*energy.Meter{}}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		id := fmt.Sprintf("terr-%d", i+1)
+		loc := orbit.NewGeodeticDeg(site.LatDeg()+0.003*float64(i), site.LonDeg()-0.002*float64(i), site.Alt)
+		meter := energy.NewMeter(energy.TerrestrialProfile(), cfg.Start)
+		res.Meters[id] = meter
+		gw, dist := deployment.Nearest(loc)
+		if gw == nil {
+			continue
+		}
+
+		offset := time.Duration(i) * cfg.SensePeriod / time.Duration(cfg.Nodes)
+		seq := uint64(0)
+		for at := cfg.Start.Add(offset); at.Before(end); at = at.Add(cfg.SensePeriod) {
+			pkt := TerrestrialPacket{Node: id, SeqID: seq, GeneratedAt: at}
+			seq++
+
+			// Duty cycle: wake to standby, transmit, open the two
+			// LoRaWAN receive windows, sleep.
+			airtime := gw.Link.Params.Airtime(cfg.PayloadBytes)
+			meter.Transition(energy.Standby, at)
+			txStart := at.Add(200 * time.Millisecond)
+			meter.Transition(energy.Tx, txStart)
+			meter.Transition(energy.Rx, txStart.Add(airtime))
+			meter.Transition(energy.Sleep, txStart.Add(airtime).Add(2*time.Second))
+
+			up := gw.Receive(txStart, dist, weather.At(at), cfg.PayloadBytes)
+			if up.Received {
+				pkt.ServerAt = up.ServerAt
+			}
+			res.Packets = append(res.Packets, pkt)
+		}
+		meter.Finish(end)
+	}
+	return res, nil
+}

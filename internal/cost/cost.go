@@ -1,0 +1,176 @@
+// Package cost implements the expenditure model of Table 2: device and
+// infrastructure capital costs plus the two operators' very different
+// billing schemes — Tianqi's per-packet tariff versus a flat-rate LTE
+// backhaul plan for terrestrial IoT.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// USD is a monetary amount in US dollars. A plain float64 is adequate for
+// a cost model (no ledger arithmetic happens here).
+type USD float64
+
+// String implements fmt.Stringer.
+func (u USD) String() string { return fmt.Sprintf("$%.2f", float64(u)) }
+
+// Published price points from Table 2 and §3.2.
+const (
+	// TianqiNodeUSD is the per-unit cost of a Tianqi satellite IoT node.
+	TianqiNodeUSD USD = 220
+	// TerrestrialNodeUSD is the per-unit cost of a terrestrial end node.
+	TerrestrialNodeUSD USD = 35
+	// TerrestrialGatewayUSD is the per-unit cost of a LoRaWAN gateway.
+	TerrestrialGatewayUSD USD = 219
+	// TinyGSStationUSD is the cost of the paper's tiny ground station
+	// (§2.2: "approximately 30 US dollars").
+	TinyGSStationUSD USD = 30
+
+	// TianqiPerThousandPacketsUSD is Tianqi's tariff: 16.5 USD per 1000
+	// packets, each carrying up to TianqiMaxPacketBytes.
+	TianqiPerThousandPacketsUSD USD = 16.5
+	// TianqiMaxPacketBytes is the billing unit's maximum payload.
+	TianqiMaxPacketBytes = 120
+
+	// LTEMonthlyUSD is the China Mobile flat LTE plan backhauling one
+	// terrestrial gateway (42 Mbps).
+	LTEMonthlyUSD USD = 4.9
+)
+
+// SatellitePlan bills per packet, Tianqi-style.
+type SatellitePlan struct {
+	PerThousandPackets USD
+	MaxPacketBytes     int
+}
+
+// DefaultSatellitePlan returns Tianqi's published tariff.
+func DefaultSatellitePlan() SatellitePlan {
+	return SatellitePlan{PerThousandPackets: TianqiPerThousandPacketsUSD, MaxPacketBytes: TianqiMaxPacketBytes}
+}
+
+// PacketsForPayload returns how many billable packets a payload of n bytes
+// consumes (ceil division; zero-byte payloads still bill one packet).
+func (p SatellitePlan) PacketsForPayload(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	if p.MaxPacketBytes <= 0 {
+		return 1
+	}
+	return (n + p.MaxPacketBytes - 1) / p.MaxPacketBytes
+}
+
+// MonthlyCost returns the data charge for packetsPerDay billable packets
+// over a 30-day month.
+func (p SatellitePlan) MonthlyCost(packetsPerDay int) USD {
+	packets := float64(packetsPerDay) * 30
+	return p.PerThousandPackets * USD(packets/1000)
+}
+
+// TerrestrialPlan bills a flat monthly rate per gateway backhaul.
+type TerrestrialPlan struct {
+	MonthlyPerGateway USD
+	Gateways          int
+}
+
+// DefaultTerrestrialPlan returns the paper's deployment: the monthly LTE
+// plan. The paper's Table 2 reports the single-plan price; a deployment
+// with several gateways multiplies it.
+func DefaultTerrestrialPlan(gateways int) TerrestrialPlan {
+	return TerrestrialPlan{MonthlyPerGateway: LTEMonthlyUSD, Gateways: gateways}
+}
+
+// MonthlyCost returns the flat monthly operational cost.
+func (p TerrestrialPlan) MonthlyCost() USD {
+	return p.MonthlyPerGateway * USD(p.Gateways)
+}
+
+// Deployment describes one IoT system's bill of materials and traffic.
+type Deployment struct {
+	Name          string
+	Nodes         int
+	NodeUnitCost  USD
+	Gateways      int
+	GatewayCost   USD
+	PacketsPerDay int // per node, billable packets
+	SatPlan       *SatellitePlan
+	TerrPlan      *TerrestrialPlan
+}
+
+// CapitalCost returns the up-front construction cost.
+func (d Deployment) CapitalCost() USD {
+	return d.NodeUnitCost*USD(d.Nodes) + d.GatewayCost*USD(d.Gateways)
+}
+
+// MonthlyOperationalCost returns the recurring monthly cost across the
+// deployment.
+func (d Deployment) MonthlyOperationalCost() USD {
+	var total USD
+	if d.SatPlan != nil {
+		total += d.SatPlan.MonthlyCost(d.PacketsPerDay * d.Nodes)
+	}
+	if d.TerrPlan != nil {
+		total += d.TerrPlan.MonthlyCost()
+	}
+	return total
+}
+
+// MonthlyPerNode returns the recurring monthly cost per node.
+func (d Deployment) MonthlyPerNode() USD {
+	if d.Nodes == 0 {
+		return 0
+	}
+	return d.MonthlyOperationalCost() / USD(d.Nodes)
+}
+
+// TotalCostOfOwnership returns capital plus months of operation.
+func (d Deployment) TotalCostOfOwnership(months int) USD {
+	return d.CapitalCost() + d.MonthlyOperationalCost()*USD(months)
+}
+
+// BreakEvenMonths returns after how many months the cheaper-capex
+// deployment a overtakes b in total cost (or vice versa): the crossover
+// month, and ok=false if the lines never cross (one dominates).
+func BreakEvenMonths(a, b Deployment) (int, bool) {
+	capA, capB := a.CapitalCost(), b.CapitalCost()
+	opA, opB := a.MonthlyOperationalCost(), b.MonthlyOperationalCost()
+	dCap := float64(capB - capA)
+	dOp := float64(opA - opB)
+	if dOp == 0 {
+		return 0, false
+	}
+	m := dCap / dOp
+	if m < 0 || math.IsInf(m, 0) || math.IsNaN(m) {
+		return 0, false
+	}
+	return int(math.Ceil(m)), true
+}
+
+// PaperAgricultureSatellite returns the paper's satellite-side deployment:
+// three Tianqi nodes, 48 packets/day each, no gateway infrastructure.
+func PaperAgricultureSatellite() Deployment {
+	plan := DefaultSatellitePlan()
+	return Deployment{
+		Name:          "Satellite IoT (Tianqi)",
+		Nodes:         3,
+		NodeUnitCost:  TianqiNodeUSD,
+		PacketsPerDay: 48,
+		SatPlan:       &plan,
+	}
+}
+
+// PaperAgricultureTerrestrial returns the paper's terrestrial baseline:
+// three end nodes behind three RAKwireless gateways with one LTE plan each.
+func PaperAgricultureTerrestrial() Deployment {
+	plan := DefaultTerrestrialPlan(3)
+	return Deployment{
+		Name:         "Terrestrial IoT (LoRaWAN+LTE)",
+		Nodes:        3,
+		NodeUnitCost: TerrestrialNodeUSD,
+		Gateways:     3,
+		GatewayCost:  TerrestrialGatewayUSD,
+		TerrPlan:     &plan,
+	}
+}

@@ -1,0 +1,139 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTianqiMonthlyMatchesPaper(t *testing.T) {
+	// §3.2: 48 packets/day -> 23.76 USD per month per sensor.
+	plan := DefaultSatellitePlan()
+	got := plan.MonthlyCost(48)
+	if math.Abs(float64(got)-23.76) > 1e-9 {
+		t.Errorf("monthly cost = %v, want $23.76", got)
+	}
+}
+
+func TestPacketsForPayload(t *testing.T) {
+	plan := DefaultSatellitePlan()
+	cases := []struct{ bytes, want int }{
+		{0, 1}, {-3, 1}, {1, 1}, {120, 1}, {121, 2}, {240, 2}, {241, 3},
+	}
+	for _, c := range cases {
+		if got := plan.PacketsForPayload(c.bytes); got != c.want {
+			t.Errorf("PacketsForPayload(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+	degenerate := SatellitePlan{PerThousandPackets: 1, MaxPacketBytes: 0}
+	if degenerate.PacketsForPayload(500) != 1 {
+		t.Error("zero MaxPacketBytes must not divide by zero")
+	}
+}
+
+func TestPacketsForPayloadMonotone(t *testing.T) {
+	plan := DefaultSatellitePlan()
+	prop := func(a, b uint8) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return plan.PacketsForPayload(int(a)) <= plan.PacketsForPayload(int(b))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable2Deployments(t *testing.T) {
+	sat := PaperAgricultureSatellite()
+	terr := PaperAgricultureTerrestrial()
+
+	// Device costs per Table 2.
+	if sat.CapitalCost() != 3*220 {
+		t.Errorf("satellite capital = %v", sat.CapitalCost())
+	}
+	if terr.CapitalCost() != 3*35+3*219 {
+		t.Errorf("terrestrial capital = %v", terr.CapitalCost())
+	}
+
+	// Per-node monthly: satellite $23.76 vs terrestrial $4.9 per plan.
+	if got := sat.MonthlyPerNode(); math.Abs(float64(got)-23.76) > 1e-9 {
+		t.Errorf("satellite per-node monthly = %v", got)
+	}
+	if got := terr.MonthlyOperationalCost(); math.Abs(float64(got)-3*4.9) > 1e-9 {
+		t.Errorf("terrestrial monthly = %v", got)
+	}
+
+	// Shape: satellite saves capex on gateways but pays more opex.
+	if sat.CapitalCost() <= 0 || terr.CapitalCost() <= sat.CapitalCost()-1 {
+		// Terrestrial deploys gateways, so its capital exceeds satellite's
+		// in this small deployment only when gateway count is high; at 3
+		// nodes + 3 gateways terrestrial is comparable. The robust claim
+		// is about infrastructure: satellite needs none.
+		if sat.Gateways != 0 {
+			t.Error("satellite deployment must need no gateways")
+		}
+	}
+	if sat.MonthlyPerNode() <= terr.MonthlyPerNode() {
+		t.Error("satellite opex per node must exceed terrestrial")
+	}
+}
+
+func TestTotalCostOfOwnership(t *testing.T) {
+	sat := PaperAgricultureSatellite()
+	if got := sat.TotalCostOfOwnership(0); got != sat.CapitalCost() {
+		t.Errorf("TCO(0) = %v", got)
+	}
+	tco12 := sat.TotalCostOfOwnership(12)
+	want := float64(sat.CapitalCost()) + 12*float64(sat.MonthlyOperationalCost())
+	if math.Abs(float64(tco12)-want) > 1e-9 {
+		t.Errorf("TCO(12) = %v, want %v", tco12, want)
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	sat := PaperAgricultureSatellite()
+	terr := PaperAgricultureTerrestrial()
+	// Satellite is cheaper up-front (660 vs 762) but pricier monthly
+	// (71.28 vs 14.7): terrestrial overtakes after ceil(102/56.58) = 2 months.
+	m, ok := BreakEvenMonths(sat, terr)
+	if !ok {
+		t.Fatal("break-even not found")
+	}
+	if m != 2 {
+		t.Errorf("break-even = %d months, want 2", m)
+	}
+	// Verify the crossover numerically.
+	if sat.TotalCostOfOwnership(m) < terr.TotalCostOfOwnership(m) {
+		t.Error("satellite still cheaper at reported break-even")
+	}
+	if sat.TotalCostOfOwnership(0) > terr.TotalCostOfOwnership(0) {
+		t.Error("satellite not cheaper at month 0")
+	}
+}
+
+func TestBreakEvenDegenerate(t *testing.T) {
+	a := PaperAgricultureSatellite()
+	if _, ok := BreakEvenMonths(a, a); ok {
+		t.Error("identical deployments cannot cross")
+	}
+	// A dominates B everywhere: no crossover.
+	cheap := Deployment{Name: "cheap", Nodes: 1, NodeUnitCost: 1}
+	dear := Deployment{Name: "dear", Nodes: 1, NodeUnitCost: 100, TerrPlan: &TerrestrialPlan{MonthlyPerGateway: 10, Gateways: 1}}
+	if _, ok := BreakEvenMonths(dear, cheap); ok {
+		t.Error("dominated pair reported a crossover")
+	}
+}
+
+func TestUSDString(t *testing.T) {
+	if USD(23.76).String() != "$23.76" {
+		t.Errorf("got %q", USD(23.76).String())
+	}
+}
+
+func TestMonthlyPerNodeZeroNodes(t *testing.T) {
+	d := Deployment{}
+	if d.MonthlyPerNode() != 0 {
+		t.Error("zero-node deployment per-node cost must be 0")
+	}
+}

@@ -1,0 +1,221 @@
+// Package energy models IoT node power consumption: per-mode power
+// profiles, a mode state machine that integrates energy over a simulated
+// campaign, and battery-lifetime projection. The terrestrial profile uses
+// the paper's measured values (Fig. 10: Tx 1630 mW, Rx 265 mW, Standby
+// 146 mW, Sleep 19.1 mW); the Tianqi DtS profile applies the paper's
+// measured 2.2× transmit-power ratio (Fig. 6a).
+package energy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mode is a radio/MCU operating mode.
+type Mode int
+
+// Operating modes. Satellite IoT nodes implement only Sleep, Rx and Tx
+// (§3.2); terrestrial nodes add Standby.
+const (
+	Sleep Mode = iota
+	Standby
+	Rx
+	Tx
+	numModes
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Sleep:
+		return "sleep"
+	case Standby:
+		return "standby"
+	case Rx:
+		return "rx"
+	case Tx:
+		return "tx"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Profile maps modes to power draw in milliwatts.
+type Profile struct {
+	Name    string
+	PowerMW [numModes]float64
+	// HasStandby reports whether the device implements a standby mode
+	// between sleep and rx (terrestrial nodes do, Tianqi nodes do not —
+	// §3.2 / Appendix D).
+	HasStandby bool
+}
+
+// TerrestrialProfile returns the measured terrestrial LoRaWAN node profile
+// (paper Fig. 10).
+func TerrestrialProfile() Profile {
+	return Profile{
+		Name:       "terrestrial LoRa node",
+		PowerMW:    [numModes]float64{Sleep: 19.1, Standby: 146, Rx: 265, Tx: 1630},
+		HasStandby: true,
+	}
+}
+
+// TianqiProfile returns the Tianqi satellite IoT node profile: transmit
+// draws 2.2× the terrestrial Tx power (Fig. 6a) because closing a DtS link
+// needs maximum output power plus a boost converter; Rx is slightly higher
+// than terrestrial (satellite monitoring keeps broader front-end gain); no
+// standby mode exists.
+func TianqiProfile() Profile {
+	return Profile{
+		Name:       "Tianqi satellite IoT node",
+		PowerMW:    [numModes]float64{Sleep: 23.0, Standby: 0, Rx: 295, Tx: 1630 * 2.2},
+		HasStandby: false,
+	}
+}
+
+// Power returns the draw of mode m in mW.
+func (p Profile) Power(m Mode) float64 {
+	if m < 0 || m >= numModes {
+		return 0
+	}
+	return p.PowerMW[m]
+}
+
+// Meter integrates time and energy per mode as a device steps through its
+// duty cycle — the software equivalent of the paper's Air9000 power meter.
+type Meter struct {
+	profile Profile
+	mode    Mode
+	since   time.Time
+
+	timeIn   [numModes]time.Duration
+	energyMJ [numModes]float64 // millijoules = mW · s
+}
+
+// NewMeter starts metering in Sleep at the given time.
+func NewMeter(p Profile, start time.Time) *Meter {
+	return &Meter{profile: p, mode: Sleep, since: start}
+}
+
+// Mode returns the current mode.
+func (m *Meter) Mode() Mode { return m.mode }
+
+// Transition switches to mode next at time at, accumulating the elapsed
+// interval in the old mode. Transitions must be monotonically ordered in
+// time; out-of-order calls are clamped to zero duration.
+func (m *Meter) Transition(next Mode, at time.Time) {
+	if !m.profile.HasStandby && next == Standby {
+		// Devices without standby fall back to sleep.
+		next = Sleep
+	}
+	dt := at.Sub(m.since)
+	if dt > 0 {
+		m.timeIn[m.mode] += dt
+		m.energyMJ[m.mode] += m.profile.Power(m.mode) * dt.Seconds()
+		m.since = at
+	} else if dt == 0 {
+		// exact same instant: pure mode switch
+	} else {
+		// Clamp: never integrate negative time.
+		m.since = at
+	}
+	m.mode = next
+}
+
+// Finish closes the last interval at time at.
+func (m *Meter) Finish(at time.Time) { m.Transition(m.mode, at) }
+
+// TimeIn returns the accumulated time in mode mo.
+func (m *Meter) TimeIn(mo Mode) time.Duration { return m.timeIn[mo] }
+
+// EnergyMJ returns accumulated energy in millijoules for mode mo.
+func (m *Meter) EnergyMJ(mo Mode) float64 { return m.energyMJ[mo] }
+
+// TotalEnergyMJ returns the total accumulated energy.
+func (m *Meter) TotalEnergyMJ() float64 {
+	var sum float64
+	for _, e := range m.energyMJ {
+		sum += e
+	}
+	return sum
+}
+
+// TotalTime returns the total metered time.
+func (m *Meter) TotalTime() time.Duration {
+	var sum time.Duration
+	for _, t := range m.timeIn {
+		sum += t
+	}
+	return sum
+}
+
+// AveragePowerMW returns total energy over total time.
+func (m *Meter) AveragePowerMW() float64 {
+	t := m.TotalTime().Seconds()
+	if t <= 0 {
+		return 0
+	}
+	return m.TotalEnergyMJ() / t
+}
+
+// Breakdown is a per-mode share of time and energy (fractions in [0,1]).
+type Breakdown struct {
+	Mode       Mode
+	TimeFrac   float64
+	EnergyFrac float64
+	Time       time.Duration
+	EnergyMJ   float64
+	AvgPowerMW float64
+}
+
+// Breakdown returns the per-mode shares, in mode order.
+func (m *Meter) Breakdown() []Breakdown {
+	totalT := m.TotalTime().Seconds()
+	totalE := m.TotalEnergyMJ()
+	out := make([]Breakdown, 0, int(numModes))
+	for mo := Sleep; mo < numModes; mo++ {
+		b := Breakdown{
+			Mode:     mo,
+			Time:     m.timeIn[mo],
+			EnergyMJ: m.energyMJ[mo],
+		}
+		if totalT > 0 {
+			b.TimeFrac = m.timeIn[mo].Seconds() / totalT
+		}
+		if totalE > 0 {
+			b.EnergyFrac = m.energyMJ[mo] / totalE
+		}
+		if s := m.timeIn[mo].Seconds(); s > 0 {
+			b.AvgPowerMW = m.energyMJ[mo] / s
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Battery projects device lifetime from a capacity and an average draw.
+type Battery struct {
+	CapacityMAh float64
+	VoltageV    float64
+}
+
+// DefaultBattery is the paper's quoted pack (5,000 mAh class) at a LiSOCl2
+// cell voltage of 3.6 V.
+func DefaultBattery() Battery { return Battery{CapacityMAh: 5000, VoltageV: 3.6} }
+
+// EnergyMWh returns the battery's energy content in milliwatt-hours.
+func (b Battery) EnergyMWh() float64 { return b.CapacityMAh * b.VoltageV }
+
+// Lifetime returns how long the battery sustains the given average draw.
+func (b Battery) Lifetime(avgPowerMW float64) time.Duration {
+	if avgPowerMW <= 0 {
+		return 0
+	}
+	hours := b.EnergyMWh() / avgPowerMW
+	return time.Duration(hours * float64(time.Hour))
+}
+
+// LifetimeDays returns Lifetime in days.
+func (b Battery) LifetimeDays(avgPowerMW float64) float64 {
+	return b.Lifetime(avgPowerMW).Hours() / 24
+}

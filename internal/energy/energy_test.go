@@ -1,0 +1,194 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestProfilesMatchPaper(t *testing.T) {
+	terr := TerrestrialProfile()
+	// Fig. 10 values.
+	if terr.Power(Tx) != 1630 || terr.Power(Rx) != 265 ||
+		terr.Power(Standby) != 146 || terr.Power(Sleep) != 19.1 {
+		t.Errorf("terrestrial profile %v deviates from Fig. 10", terr.PowerMW)
+	}
+	tq := TianqiProfile()
+	// Fig. 6a: 2.2× transmit power.
+	if ratio := tq.Power(Tx) / terr.Power(Tx); math.Abs(ratio-2.2) > 1e-9 {
+		t.Errorf("Tx ratio = %v, want 2.2", ratio)
+	}
+	if tq.HasStandby {
+		t.Error("Tianqi node must not have standby (§3.2)")
+	}
+	if !terr.HasStandby {
+		t.Error("terrestrial node must have standby")
+	}
+	// Mode power ordering within each profile.
+	for _, p := range []Profile{terr, tq} {
+		if !(p.Power(Sleep) < p.Power(Rx) && p.Power(Rx) < p.Power(Tx)) {
+			t.Errorf("%s power ordering broken", p.Name)
+		}
+	}
+	if p := terr.Power(Mode(99)); p != 0 {
+		t.Errorf("unknown mode power = %v", p)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Sleep.String() != "sleep" || Standby.String() != "standby" ||
+		Rx.String() != "rx" || Tx.String() != "tx" {
+		t.Error("mode labels")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode label")
+	}
+}
+
+func TestMeterIntegration(t *testing.T) {
+	m := NewMeter(TerrestrialProfile(), t0)
+	m.Transition(Tx, t0.Add(10*time.Second))    // 10 s sleep
+	m.Transition(Rx, t0.Add(11*time.Second))    // 1 s tx
+	m.Transition(Sleep, t0.Add(13*time.Second)) // 2 s rx
+	m.Finish(t0.Add(20 * time.Second))          // 7 s sleep
+
+	if got := m.TimeIn(Sleep); got != 17*time.Second {
+		t.Errorf("sleep time = %v", got)
+	}
+	if got := m.TimeIn(Tx); got != time.Second {
+		t.Errorf("tx time = %v", got)
+	}
+	if got := m.TimeIn(Rx); got != 2*time.Second {
+		t.Errorf("rx time = %v", got)
+	}
+	wantE := 17*19.1 + 1*1630 + 2*265
+	if got := m.TotalEnergyMJ(); math.Abs(got-wantE) > 1e-9 {
+		t.Errorf("total energy = %v mJ, want %v", got, wantE)
+	}
+	if got := m.TotalTime(); got != 20*time.Second {
+		t.Errorf("total time = %v", got)
+	}
+	wantAvg := wantE / 20
+	if got := m.AveragePowerMW(); math.Abs(got-wantAvg) > 1e-9 {
+		t.Errorf("avg power = %v", got)
+	}
+}
+
+func TestMeterStandbyFallback(t *testing.T) {
+	// A Tianqi node asked to standby must sleep instead.
+	m := NewMeter(TianqiProfile(), t0)
+	m.Transition(Standby, t0.Add(time.Second))
+	if m.Mode() != Sleep {
+		t.Errorf("mode after standby request = %v, want sleep", m.Mode())
+	}
+	// Terrestrial node keeps standby.
+	m2 := NewMeter(TerrestrialProfile(), t0)
+	m2.Transition(Standby, t0.Add(time.Second))
+	if m2.Mode() != Standby {
+		t.Errorf("terrestrial standby = %v", m2.Mode())
+	}
+}
+
+func TestMeterOutOfOrderClamped(t *testing.T) {
+	m := NewMeter(TerrestrialProfile(), t0)
+	m.Transition(Tx, t0.Add(10*time.Second))
+	m.Transition(Sleep, t0.Add(5*time.Second)) // goes backwards
+	if m.TotalEnergyMJ() < 0 {
+		t.Error("negative energy accumulated")
+	}
+	for mo := Sleep; mo < numModes; mo++ {
+		if m.TimeIn(mo) < 0 {
+			t.Errorf("negative time in %v", mo)
+		}
+	}
+}
+
+func TestBreakdownFractions(t *testing.T) {
+	m := NewMeter(TerrestrialProfile(), t0)
+	m.Transition(Tx, t0.Add(95*time.Second)) // 95 s sleep
+	m.Finish(t0.Add(100 * time.Second))      // 5 s tx
+
+	var timeSum, energySum float64
+	bds := m.Breakdown()
+	for _, b := range bds {
+		timeSum += b.TimeFrac
+		energySum += b.EnergyFrac
+	}
+	if math.Abs(timeSum-1) > 1e-9 || math.Abs(energySum-1) > 1e-9 {
+		t.Errorf("fractions don't sum to 1: time=%v energy=%v", timeSum, energySum)
+	}
+	// The paper's Fig. 11 observation: sleep dominates time, Tx dominates
+	// energy even at tiny duty cycle.
+	if bds[Sleep].TimeFrac < 0.9 {
+		t.Errorf("sleep time frac = %v", bds[Sleep].TimeFrac)
+	}
+	if bds[Tx].EnergyFrac < 0.7 {
+		t.Errorf("tx energy frac = %v (want Tx-dominated)", bds[Tx].EnergyFrac)
+	}
+	if bds[Tx].AvgPowerMW != 1630 {
+		t.Errorf("tx avg power = %v", bds[Tx].AvgPowerMW)
+	}
+}
+
+func TestBatteryLifetime(t *testing.T) {
+	b := DefaultBattery()
+	if got := b.EnergyMWh(); math.Abs(got-18000) > 1e-9 {
+		t.Errorf("5000 mAh @ 3.6 V = %v mWh, want 18000", got)
+	}
+	// 18 Wh at 25 mW = 720 h = 30 days.
+	if got := b.LifetimeDays(25); math.Abs(got-30) > 1e-9 {
+		t.Errorf("lifetime at 25 mW = %v days, want 30", got)
+	}
+	if b.Lifetime(0) != 0 || b.Lifetime(-5) != 0 {
+		t.Error("non-positive draw must yield zero lifetime")
+	}
+}
+
+func TestLifetimeRatioShape(t *testing.T) {
+	// A Tianqi-style duty cycle (Rx hanging on waiting for passes, heavy
+	// Tx) must drain far faster than a terrestrial duty cycle — the
+	// paper's 48 vs 718 days, a ~15× ratio. Build one synthetic day each.
+	day := 24 * time.Hour
+
+	terr := NewMeter(TerrestrialProfile(), t0)
+	cursor := t0
+	// 48 packets/day: 57 ms Tx + 2 s Rx windows + 3 s standby each, rest sleep.
+	for i := 0; i < 48; i++ {
+		cursor = cursor.Add(29 * time.Minute)
+		terr.Transition(Tx, cursor)
+		cursor = cursor.Add(60 * time.Millisecond)
+		terr.Transition(Rx, cursor)
+		cursor = cursor.Add(2 * time.Second)
+		terr.Transition(Standby, cursor)
+		cursor = cursor.Add(3 * time.Second)
+		terr.Transition(Sleep, cursor)
+	}
+	terr.Finish(t0.Add(day))
+
+	tq := NewMeter(TianqiProfile(), t0)
+	cursor = t0
+	// Satellite node: for each of ~30 contact opportunities, Rx hangs on
+	// ~25 min waiting + per-packet 1.6 s Tx bursts with retransmissions.
+	for i := 0; i < 30; i++ {
+		cursor = cursor.Add(20 * time.Minute)
+		tq.Transition(Rx, cursor)
+		cursor = cursor.Add(25 * time.Minute)
+		tq.Transition(Tx, cursor)
+		cursor = cursor.Add(3 * time.Second)
+		tq.Transition(Sleep, cursor)
+	}
+	tq.Finish(t0.Add(day + time.Hour))
+
+	b := DefaultBattery()
+	terrDays := b.LifetimeDays(terr.AveragePowerMW())
+	tqDays := b.LifetimeDays(tq.AveragePowerMW())
+	ratio := terrDays / tqDays
+	if ratio < 5 || ratio > 40 {
+		t.Errorf("lifetime ratio = %.1f (terr %0.f d, sat %.0f d), want order ~15×", ratio, terrDays, tqDays)
+	}
+	if tqDays >= terrDays {
+		t.Error("satellite node must not outlive terrestrial node")
+	}
+}

@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/channel"
+	"github.com/sinet-io/sinet/internal/constellation"
+	"github.com/sinet-io/sinet/internal/core"
+	"github.com/sinet-io/sinet/internal/cost"
+	"github.com/sinet-io/sinet/internal/energy"
+	"github.com/sinet-io/sinet/internal/mac"
+	"github.com/sinet-io/sinet/internal/report"
+)
+
+// Fig5aResult is the end-to-end reliability experiment.
+type Fig5aResult struct {
+	TerrestrialReliability float64
+	SatNoRetx              float64
+	SatWithRetx            float64
+}
+
+// Fig5a reproduces the reliability comparison.
+func (r *Runner) Fig5a() (Fig5aResult, error) {
+	var out Fig5aResult
+	terr, err := r.Terrestrial()
+	if err != nil {
+		return out, err
+	}
+	sat0, err := r.Active(false)
+	if err != nil {
+		return out, err
+	}
+	sat5, err := r.Active(true)
+	if err != nil {
+		return out, err
+	}
+	out.TerrestrialReliability = terr.Reliability()
+	out.SatNoRetx = sat0.Reliability()
+	out.SatWithRetx = sat5.Reliability()
+
+	_ = report.Section(r.Out, "F5a", "End-to-end reliability (Fig. 5a)")
+	_ = report.Bars(r.Out, "delivery fraction",
+		[]string{"terrestrial", "satellite (no retx)", "satellite (5 retx)"},
+		[]float64{out.TerrestrialReliability, out.SatNoRetx, out.SatWithRetx}, 40)
+	_ = report.KV(r.Out, "paper", "terrestrial ≈100%, Tianqi 91% → 96% with 5 retx")
+	return out, nil
+}
+
+// Fig5bResult is the retransmission experiment.
+type Fig5bResult struct {
+	// MeanRetx keys are "antenna/weather" cells.
+	MeanRetx         map[string]float64
+	ZeroRetxFraction float64
+}
+
+// Fig5b reproduces the weather × antenna retransmission sweep.
+func (r *Runner) Fig5b() (Fig5bResult, error) {
+	out := Fig5bResult{MeanRetx: map[string]float64{}}
+	_ = report.Section(r.Out, "F5b", "DtS retransmissions by weather and antenna (Fig. 5b)")
+	tab := report.NewTable("", "Antenna", "Weather", "mean retx", "zero-retx frac", "rel")
+	cells := []struct {
+		label string
+		ant   channel.Antenna
+		w     channel.Weather
+	}{
+		{"5/8λ sunny", channel.FiveEighthsWave, channel.Sunny},
+		{"5/8λ rainy", channel.FiveEighthsWave, channel.Rainy},
+		{"1/4λ sunny", channel.QuarterWave, channel.Sunny},
+		{"1/4λ rainy", channel.QuarterWave, channel.Rainy},
+	}
+	for _, c := range cells {
+		res, err := core.RunActive(core.ActiveConfig{
+			Seed: r.Scale.Seed, Start: r.Scale.Start, Days: r.Scale.ActiveDays,
+			Policy: mac.DefaultRetxPolicy(), NodeAntenna: c.ant,
+			Weather: core.ConstantWeather{State: c.w},
+		})
+		if err != nil {
+			return out, err
+		}
+		out.MeanRetx[c.label] = res.MeanRetx()
+		if c.label == "5/8λ sunny" {
+			out.ZeroRetxFraction = res.ZeroRetxFraction()
+		}
+		tab.AddRow(c.ant.Name, c.w.String(), res.MeanRetx(), res.ZeroRetxFraction(), res.Reliability())
+	}
+	if err := tab.Render(r.Out); err != nil {
+		return out, err
+	}
+	_ = report.KV(r.Out, "paper", "5/8λ sunny best; more retx with 1/4λ and rain; ~50% need no retx")
+	return out, nil
+}
+
+// Fig5cdResult covers latency and its decomposition.
+type Fig5cdResult struct {
+	SatTotal            time.Duration
+	TerrTotal           time.Duration
+	Ratio               float64
+	Wait, DtS, Delivery time.Duration
+}
+
+// Fig5cd reproduces the latency comparison and decomposition.
+func (r *Runner) Fig5cd() (Fig5cdResult, error) {
+	var out Fig5cdResult
+	sat, err := r.Active(true)
+	if err != nil {
+		return out, err
+	}
+	terr, err := r.Terrestrial()
+	if err != nil {
+		return out, err
+	}
+	lb := sat.Latency()
+	terrMean, n := terr.MeanLatency()
+	out.SatTotal = lb.Total
+	out.TerrTotal = terrMean
+	out.Wait, out.DtS, out.Delivery = lb.Wait, lb.DtS, lb.Delivery
+	if terrMean > 0 {
+		out.Ratio = float64(lb.Total) / float64(terrMean)
+	}
+	_ = report.Section(r.Out, "F5c/F5d", "End-to-end latency and decomposition (Fig. 5c, 5d)")
+	_ = report.KV(r.Out, "satellite mean latency", lb.Total.Round(time.Second))
+	_ = report.KV(r.Out, "terrestrial mean latency", fmt.Sprintf("%v (n=%d)", terrMean.Round(time.Millisecond), n))
+	_ = report.KV(r.Out, "ratio", fmt.Sprintf("%.0fx", out.Ratio))
+	_ = report.Bars(r.Out, "satellite latency segments (minutes)",
+		[]string{"wait for pass", "DtS (re)tx", "delivery"},
+		[]float64{lb.Wait.Minutes(), lb.DtS.Minutes(), lb.Delivery.Minutes()}, 40)
+	_ = report.KV(r.Out, "paper", "135.2 min vs 0.2 min (643.6x); segments 55.2/10.4/56.9 min")
+	return out, nil
+}
+
+// Fig6Result is the energy experiment.
+type Fig6Result struct {
+	Energy core.EnergyComparison
+}
+
+// Fig6 reproduces the Tianqi-node energy comparison.
+func (r *Runner) Fig6() (Fig6Result, error) {
+	var out Fig6Result
+	sat, err := r.Active(true)
+	if err != nil {
+		return out, err
+	}
+	terr, err := r.Terrestrial()
+	if err != nil {
+		return out, err
+	}
+	out.Energy = core.CompareEnergy(sat, terr, energy.DefaultBattery())
+	ec := out.Energy
+	_ = report.Section(r.Out, "F6", "Tianqi node energy performance (Fig. 6a-d)")
+	tab := report.NewTable("satellite node (per mode)", "Mode", "power mW", "time %", "energy %")
+	for _, b := range ec.SatBreakdown {
+		tab.AddRow(b.Mode.String(), b.AvgPowerMW, b.TimeFrac*100, b.EnergyFrac*100)
+	}
+	if err := tab.Render(r.Out); err != nil {
+		return out, err
+	}
+	_ = report.KV(r.Out, "satellite avg power (mW)", ec.SatAvgPowerMW)
+	_ = report.KV(r.Out, "terrestrial avg power (mW)", ec.TerrAvgPowerMW)
+	_ = report.KV(r.Out, "drain ratio", fmt.Sprintf("%.1fx", ec.PowerRatio))
+	_ = report.KV(r.Out, "satellite lifetime (days)", ec.SatLifetimeDays)
+	_ = report.KV(r.Out, "terrestrial lifetime (days)", ec.TerrLifetimeDays)
+	_ = report.KV(r.Out, "paper", "2.2x Tx power, 14.9x drain; 48 vs 718 days (battery-size dependent)")
+	return out, nil
+}
+
+// Fig10Result is the terrestrial power-profile experiment.
+type Fig10Result struct {
+	Profile energy.Profile
+}
+
+// Fig10 reports the terrestrial node's measured-mode power profile.
+func (r *Runner) Fig10() (Fig10Result, error) {
+	out := Fig10Result{Profile: energy.TerrestrialProfile()}
+	_ = report.Section(r.Out, "F10", "Terrestrial node power per mode (Fig. 10)")
+	_ = report.Bars(r.Out, "power (mW)",
+		[]string{"sleep", "standby", "rx", "tx"},
+		[]float64{
+			out.Profile.Power(energy.Sleep), out.Profile.Power(energy.Standby),
+			out.Profile.Power(energy.Rx), out.Profile.Power(energy.Tx),
+		}, 40)
+	_ = report.KV(r.Out, "paper", "Tx 1630, Rx 265, Standby 146, Sleep 19.1 mW")
+	return out, nil
+}
+
+// Fig11Result is the terrestrial time/energy breakdown.
+type Fig11Result struct {
+	SleepStandbyTimeFrac float64
+	TxRxEnergyFrac       float64
+}
+
+// Fig11 reproduces the terrestrial duty-cycle breakdown.
+func (r *Runner) Fig11() (Fig11Result, error) {
+	var out Fig11Result
+	terr, err := r.Terrestrial()
+	if err != nil {
+		return out, err
+	}
+	_, breakdown := core.AverageMeters(terr.Meters)
+	_ = report.Section(r.Out, "F11", "Terrestrial node time/energy breakdown (Fig. 11)")
+	tab := report.NewTable("", "Mode", "time %", "energy %")
+	for _, b := range breakdown {
+		tab.AddRow(b.Mode.String(), b.TimeFrac*100, b.EnergyFrac*100)
+		switch b.Mode {
+		case energy.Sleep, energy.Standby:
+			out.SleepStandbyTimeFrac += b.TimeFrac
+		case energy.Tx, energy.Rx:
+			out.TxRxEnergyFrac += b.EnergyFrac
+		}
+	}
+	if err := tab.Render(r.Out); err != nil {
+		return out, err
+	}
+	_ = report.KV(r.Out, "paper", "95% of time in sleep/standby; >70% of energy in Tx+Rx")
+	return out, nil
+}
+
+// Fig12aResult is the payload-size reliability experiment.
+type Fig12aResult struct {
+	// Reliability and the fraction of node-days reaching 90% per payload.
+	Reliability map[int]float64
+	Reach90     map[int]float64
+}
+
+// Fig12a reproduces the payload-size sweep.
+func (r *Runner) Fig12a() (Fig12aResult, error) {
+	out := Fig12aResult{Reliability: map[int]float64{}, Reach90: map[int]float64{}}
+	_ = report.Section(r.Out, "F12a", "Reliability vs payload size (Fig. 12a)")
+	tab := report.NewTable("", "Payload B", "reliability", "frac groups >=90%")
+	for _, payload := range []int{10, 60, 120} {
+		res, err := core.RunActive(core.ActiveConfig{
+			Seed: r.Scale.Seed, Start: r.Scale.Start, Days: r.Scale.ActiveDays,
+			Policy: mac.NoRetxPolicy(), PayloadBytes: payload,
+		})
+		if err != nil {
+			return out, err
+		}
+		rel := res.Reliability()
+		reach := core.FractionReaching(res.PerGroupReliability(), 0.9)
+		out.Reliability[payload] = rel
+		out.Reach90[payload] = reach
+		tab.AddRow(payload, rel, reach)
+	}
+	if err := tab.Render(r.Out); err != nil {
+		return out, err
+	}
+	_ = report.KV(r.Out, "paper", ">75% of 10B and >70% of 60B reach 90%; only 40% of 120B")
+	return out, nil
+}
+
+// Fig12bResult is the concurrency experiment.
+type Fig12bResult struct {
+	// ReliabilityByConcurrency[k] is delivery fraction for packets whose
+	// peak simultaneous-transmitter count was k.
+	ReliabilityByConcurrency map[int]float64
+}
+
+// Fig12b reproduces the simultaneous-transmissions experiment.
+func (r *Runner) Fig12b() (Fig12bResult, error) {
+	res, err := core.RunActive(core.ActiveConfig{
+		Seed: r.Scale.Seed, Start: r.Scale.Start,
+		Days:   r.Scale.ActiveDays + 4, // concurrency groups need samples
+		Nodes:  3,
+		Policy: mac.NoRetxPolicy(), AlignedPhases: true,
+	})
+	if err != nil {
+		return Fig12bResult{}, err
+	}
+	out := Fig12bResult{ReliabilityByConcurrency: res.ReliabilityByConcurrency()}
+	_ = report.Section(r.Out, "F12b", "Reliability under simultaneous transmissions (Fig. 12b)")
+	tab := report.NewTable("", "simultaneous tx", "reliability")
+	for k := 1; k <= 3; k++ {
+		if rel, ok := out.ReliabilityByConcurrency[k]; ok {
+			tab.AddRow(k, rel)
+		}
+	}
+	if err := tab.Render(r.Out); err != nil {
+		return out, err
+	}
+	_ = report.KV(r.Out, "paper", "94% single, 92% two, 89% three nodes")
+	return out, nil
+}
+
+// Table2Result is the cost comparison.
+type Table2Result struct {
+	SatCapital, TerrCapital     cost.USD
+	SatMonthlyPerNode, TerrPlan cost.USD
+	BreakEvenMonths             int
+}
+
+// Table2 reproduces the expenditure comparison.
+func (r *Runner) Table2() (Table2Result, error) {
+	sat := cost.PaperAgricultureSatellite()
+	terr := cost.PaperAgricultureTerrestrial()
+	out := Table2Result{
+		SatCapital:        sat.CapitalCost(),
+		TerrCapital:       terr.CapitalCost(),
+		SatMonthlyPerNode: sat.MonthlyPerNode(),
+		TerrPlan:          cost.LTEMonthlyUSD,
+	}
+	if m, ok := cost.BreakEvenMonths(sat, terr); ok {
+		out.BreakEvenMonths = m
+	}
+	_ = report.Section(r.Out, "T2", "System expenditure (Table 2)")
+	tab := report.NewTable("", "Network", "Device", "Infrastructure", "Operational/month")
+	tab.AddRow("Terrestrial IoT", cost.TerrestrialNodeUSD.String()+" per unit",
+		cost.TerrestrialGatewayUSD.String()+" per gateway", cost.LTEMonthlyUSD.String())
+	tab.AddRow("Satellite IoT", cost.TianqiNodeUSD.String()+" per unit", "-",
+		out.SatMonthlyPerNode.String()+" per node")
+	if err := tab.Render(r.Out); err != nil {
+		return out, err
+	}
+	_ = report.KV(r.Out, "deployment break-even (months)", out.BreakEvenMonths)
+	_ = report.KV(r.Out, "paper", "$35+$219 vs $220; $4.9 vs $23.76 per month")
+	return out, nil
+}
+
+// Table3Result is the constellation overview.
+type Table3Result struct {
+	Rows int
+}
+
+// Table3 reproduces the measured-constellations table.
+func (r *Runner) Table3() (Table3Result, error) {
+	_ = report.Section(r.Out, "T3", "Measured constellations (Table 3)")
+	tab := report.NewTable("", "SNO", "Region", "#SATs", "Alt km", "Incl", "Freq MHz", "Footprint 0° km2", "Footprint 5° km2")
+	out := Table3Result{}
+	const deg5 = 5 * math.Pi / 180
+	for _, c := range constellation.Specs() {
+		for _, g := range c.Groups {
+			maxAlt := g.AltHiKm
+			tab.AddRow(c.Name, c.Region, g.Count,
+				fmt.Sprintf("%.1f-%.1f", g.AltLoKm, g.AltHiKm),
+				fmt.Sprintf("%.2f°", g.InclDeg), c.FreqMHz,
+				fmt.Sprintf("%.2e", constellation.FootprintKm2(maxAlt, 0)),
+				fmt.Sprintf("%.2e", constellation.FootprintKm2(maxAlt, deg5)))
+			out.Rows++
+		}
+	}
+	if err := tab.Render(r.Out); err != nil {
+		return out, err
+	}
+	_ = report.KV(r.Out, "paper", "Tianqi 16+4+2, FOSSA 3, PICO 9, CSTP 5 in 400-450 MHz")
+	return out, nil
+}
+
+// RunAll executes every experiment in paper order.
+func (r *Runner) RunAll() error {
+	steps := []func() error{
+		func() error { _, err := r.Table1(); return err },
+		func() error { _, err := r.Table2(); return err },
+		func() error { _, err := r.Table3(); return err },
+		func() error { _, err := r.Fig3a(); return err },
+		func() error { _, err := r.Fig3b(); return err },
+		func() error { _, err := r.Fig3c(); return err },
+		func() error { _, err := r.Fig3d(); return err },
+		func() error { _, err := r.Fig4(); return err },
+		func() error { _, err := r.Fig5a(); return err },
+		func() error { _, err := r.Fig5b(); return err },
+		func() error { _, err := r.Fig5cd(); return err },
+		func() error { _, err := r.Fig6(); return err },
+		func() error { _, err := r.Fig8(); return err },
+		func() error { _, err := r.Fig9(); return err },
+		func() error { _, err := r.Fig10(); return err },
+		func() error { _, err := r.Fig11(); return err },
+		func() error { _, err := r.Fig12a(); return err },
+		func() error { _, err := r.Fig12b(); return err },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package mac implements the beacon-gated medium access protocol satellite
+// IoT systems use on Direct-to-Satellite links (§F of the paper): the
+// satellite gateway periodically broadcasts beacons; a node with pending
+// data that successfully receives a beacon may transmit; the satellite
+// acknowledges successful uplinks; un-ACKed packets are retransmitted at
+// subsequent beacons up to a configurable budget. The package also models
+// uplink collisions with an SNR capture effect.
+package mac
+
+import (
+	"fmt"
+	"time"
+)
+
+// FrameType labels a DtS frame.
+type FrameType int
+
+// Frame types.
+const (
+	FrameBeacon FrameType = iota
+	FrameDataUp
+	FrameAck
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameBeacon:
+		return "BEACON"
+	case FrameDataUp:
+		return "DATA"
+	case FrameAck:
+		return "ACK"
+	default:
+		return fmt.Sprintf("FrameType(%d)", int(t))
+	}
+}
+
+// Frame is one over-the-air DtS frame.
+type Frame struct {
+	Type         FrameType
+	SatNoradID   int
+	NodeID       string
+	SeqID        uint64
+	PayloadBytes int
+	Attempt      int // 0 = first transmission
+}
+
+// RetxPolicy is the node-side retransmission policy: transmit, await ACK
+// within AckTimeout, and retry at later beacons while attempts remain.
+type RetxPolicy struct {
+	// MaxRetx is the maximum number of retransmissions after the first
+	// attempt. The paper evaluates 0 (disabled) and 5.
+	MaxRetx int
+	// AckTimeout is how long the node waits for an ACK after its uplink
+	// completes before scheduling a retry.
+	AckTimeout time.Duration
+}
+
+// DefaultRetxPolicy returns the Tianqi configuration the paper enables:
+// at most five DtS retransmissions.
+func DefaultRetxPolicy() RetxPolicy {
+	return RetxPolicy{MaxRetx: 5, AckTimeout: 3 * time.Second}
+}
+
+// NoRetxPolicy returns the paper's default-off configuration.
+func NoRetxPolicy() RetxPolicy {
+	return RetxPolicy{MaxRetx: 0, AckTimeout: 3 * time.Second}
+}
+
+// ShouldRetry reports whether a packet on the given attempt (0-based) may
+// be transmitted again.
+func (p RetxPolicy) ShouldRetry(attempt int) bool {
+	return attempt < p.MaxRetx
+}
+
+// MaxAttempts returns the total number of transmissions allowed.
+func (p RetxPolicy) MaxAttempts() int { return p.MaxRetx + 1 }
+
+// Transmission is an in-flight uplink used by the collision model.
+type Transmission struct {
+	Frame Frame
+	Start time.Time
+	End   time.Time
+	SNRDB float64
+}
+
+// Overlaps reports whether two transmissions overlap in time.
+func (a Transmission) Overlaps(b Transmission) bool {
+	return a.Start.Before(b.End) && b.Start.Before(a.End)
+}
+
+// CollisionModel resolves concurrent uplinks at one satellite receiver.
+type CollisionModel struct {
+	// CaptureThresholdDB: if one frame's SNR exceeds every overlapping
+	// frame's by at least this margin it survives the collision (LoRa's
+	// well-documented capture effect, ~6 dB co-SF).
+	CaptureThresholdDB float64
+	// CaptureEnabled disables capture entirely when false (ablation).
+	CaptureEnabled bool
+}
+
+// DefaultCollisionModel returns the standard co-SF LoRa capture behaviour.
+func DefaultCollisionModel() CollisionModel {
+	return CollisionModel{CaptureThresholdDB: 6.0, CaptureEnabled: true}
+}
+
+// Survivors returns the indices of transmissions that survive mutual
+// interference within the given batch. Non-overlapping transmissions
+// always survive; overlapping ones all die unless capture applies.
+func (m CollisionModel) Survivors(txs []Transmission) []int {
+	if len(txs) == 0 {
+		return nil
+	}
+	survivors := make([]int, 0, len(txs))
+	for i, tx := range txs {
+		contested := false
+		captured := true
+		for j, other := range txs {
+			if i == j || !tx.Overlaps(other) {
+				continue
+			}
+			contested = true
+			if tx.SNRDB < other.SNRDB+m.CaptureThresholdDB {
+				captured = false
+			}
+		}
+		if !contested {
+			survivors = append(survivors, i)
+			continue
+		}
+		if m.CaptureEnabled && captured {
+			survivors = append(survivors, i)
+		}
+	}
+	return survivors
+}
+
+// TxOutcome describes what happened to one uplink attempt end-to-end.
+type TxOutcome struct {
+	Attempt     int
+	UplinkOK    bool // satellite decoded the data frame
+	AckOK       bool // node decoded the ACK
+	Collided    bool
+	Completed   bool // node considers the packet delivered (ACK received)
+	Unnecessary bool // uplink succeeded but ACK loss triggered a retry
+}
+
+// Stats aggregates MAC-level counters across a campaign.
+type Stats struct {
+	Attempts         int
+	UplinkSuccesses  int
+	AckLosses        int
+	Collisions       int
+	UnnecessaryRetx  int
+	PacketsDelivered int
+	PacketsAbandoned int
+}
+
+// Record folds one outcome into the counters.
+func (s *Stats) Record(o TxOutcome) {
+	s.Attempts++
+	if o.UplinkOK {
+		s.UplinkSuccesses++
+	}
+	if o.Collided {
+		s.Collisions++
+	}
+	if o.UplinkOK && !o.AckOK {
+		s.AckLosses++
+	}
+	if o.Unnecessary {
+		s.UnnecessaryRetx++
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("attempts=%d uplinkOK=%d ackLoss=%d collisions=%d unnecessaryRetx=%d delivered=%d abandoned=%d",
+		s.Attempts, s.UplinkSuccesses, s.AckLosses, s.Collisions, s.UnnecessaryRetx, s.PacketsDelivered, s.PacketsAbandoned)
+}

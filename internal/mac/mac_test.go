@@ -1,0 +1,142 @@
+package mac
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func tx(startSec, durSec float64, snr float64) Transmission {
+	return Transmission{
+		Start: t0.Add(time.Duration(startSec * float64(time.Second))),
+		End:   t0.Add(time.Duration((startSec + durSec) * float64(time.Second))),
+		SNRDB: snr,
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	if FrameBeacon.String() != "BEACON" || FrameDataUp.String() != "DATA" || FrameAck.String() != "ACK" {
+		t.Error("frame labels")
+	}
+	if FrameType(7).String() != "FrameType(7)" {
+		t.Error("unknown frame label")
+	}
+}
+
+func TestRetxPolicy(t *testing.T) {
+	p := DefaultRetxPolicy()
+	if p.MaxRetx != 5 || p.MaxAttempts() != 6 {
+		t.Errorf("default policy %+v", p)
+	}
+	if !p.ShouldRetry(0) || !p.ShouldRetry(4) || p.ShouldRetry(5) {
+		t.Error("ShouldRetry boundaries wrong")
+	}
+	n := NoRetxPolicy()
+	if n.ShouldRetry(0) || n.MaxAttempts() != 1 {
+		t.Error("no-retx policy must allow exactly one attempt")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := tx(0, 2, 0)
+	cases := []struct {
+		b    Transmission
+		want bool
+	}{
+		{tx(1, 2, 0), true},    // partial overlap
+		{tx(0.5, 1, 0), true},  // contained
+		{tx(2, 1, 0), false},   // touching end-to-start
+		{tx(3, 1, 0), false},   // disjoint
+		{tx(-1, 1, 0), false},  // touching start
+		{tx(-1, 1.5, 0), true}, // overlap at start
+	}
+	for i, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("case %d: Overlaps = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("case %d: Overlaps not symmetric", i)
+		}
+	}
+}
+
+func TestSurvivorsNoOverlap(t *testing.T) {
+	m := DefaultCollisionModel()
+	got := m.Survivors([]Transmission{tx(0, 1, -10), tx(2, 1, -18), tx(4, 1, -5)})
+	if len(got) != 3 {
+		t.Errorf("non-overlapping survivors = %v", got)
+	}
+}
+
+func TestSurvivorsMutualKill(t *testing.T) {
+	m := DefaultCollisionModel()
+	// Two equal-SNR overlapping frames: both die.
+	got := m.Survivors([]Transmission{tx(0, 2, -10), tx(1, 2, -10)})
+	if len(got) != 0 {
+		t.Errorf("equal-SNR collision survivors = %v", got)
+	}
+}
+
+func TestSurvivorsCapture(t *testing.T) {
+	m := DefaultCollisionModel()
+	// One frame 10 dB stronger than its overlap: it captures.
+	got := m.Survivors([]Transmission{tx(0, 2, -5), tx(1, 2, -15)})
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("capture survivors = %v, want [0]", got)
+	}
+	// Just below the 6 dB threshold: nobody survives.
+	got = m.Survivors([]Transmission{tx(0, 2, -10), tx(1, 2, -15)})
+	if len(got) != 0 {
+		t.Errorf("sub-threshold capture survivors = %v", got)
+	}
+}
+
+func TestSurvivorsCaptureDisabled(t *testing.T) {
+	m := CollisionModel{CaptureThresholdDB: 6, CaptureEnabled: false}
+	got := m.Survivors([]Transmission{tx(0, 2, 10), tx(1, 2, -40)})
+	if len(got) != 0 {
+		t.Errorf("capture-disabled survivors = %v", got)
+	}
+	// Non-overlapping still fine.
+	got = m.Survivors([]Transmission{tx(0, 1, 10), tx(5, 1, -40)})
+	if len(got) != 2 {
+		t.Errorf("capture-disabled non-overlap survivors = %v", got)
+	}
+}
+
+func TestSurvivorsThreeWay(t *testing.T) {
+	m := DefaultCollisionModel()
+	// Strongest beats both others by >6 dB.
+	got := m.Survivors([]Transmission{tx(0, 3, 0), tx(1, 3, -10), tx(2, 3, -12)})
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("three-way survivors = %v", got)
+	}
+	// Chain: A overlaps B, B overlaps C, A not C. A and C strong, B weak:
+	// A and C capture over B.
+	got = m.Survivors([]Transmission{tx(0, 1.5, 0), tx(1, 1.5, -10), tx(2, 1.5, 0)})
+	if len(got) != 2 {
+		t.Errorf("chain survivors = %v, want A and C", got)
+	}
+}
+
+func TestSurvivorsEmpty(t *testing.T) {
+	m := DefaultCollisionModel()
+	if got := m.Survivors(nil); got != nil {
+		t.Errorf("empty survivors = %v", got)
+	}
+}
+
+func TestStatsRecord(t *testing.T) {
+	var s Stats
+	s.Record(TxOutcome{Attempt: 0, UplinkOK: true, AckOK: true, Completed: true})
+	s.Record(TxOutcome{Attempt: 0, UplinkOK: true, AckOK: false, Unnecessary: true})
+	s.Record(TxOutcome{Attempt: 1, UplinkOK: false, Collided: true})
+	if s.Attempts != 3 || s.UplinkSuccesses != 2 || s.AckLosses != 1 ||
+		s.Collisions != 1 || s.UnnecessaryRetx != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

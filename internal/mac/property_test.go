@@ -1,0 +1,102 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestSurvivorsProperties checks the collision resolver's invariants over
+// random transmission batches.
+func TestSurvivorsProperties(t *testing.T) {
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	m := DefaultCollisionModel()
+	prop := func(startsQ []uint8, snrsQ []int8) bool {
+		n := len(startsQ)
+		if len(snrsQ) < n {
+			n = len(snrsQ)
+		}
+		if n > 12 {
+			n = 12
+		}
+		txs := make([]Transmission, n)
+		for i := 0; i < n; i++ {
+			s := base.Add(time.Duration(startsQ[i]) * 100 * time.Millisecond)
+			txs[i] = Transmission{
+				Start: s,
+				End:   s.Add(400 * time.Millisecond),
+				SNRDB: float64(snrsQ[i]) / 4,
+			}
+		}
+		surv := m.Survivors(txs)
+
+		// Survivors are unique, sorted ascending, in range.
+		seen := map[int]bool{}
+		prev := -1
+		for _, idx := range surv {
+			if idx < 0 || idx >= n || seen[idx] || idx <= prev {
+				return false
+			}
+			seen[idx] = true
+			prev = idx
+		}
+		// Any transmission with no overlaps must survive.
+		for i, tx := range txs {
+			contested := false
+			for j, other := range txs {
+				if i != j && tx.Overlaps(other) {
+					contested = true
+					break
+				}
+			}
+			if !contested && !seen[i] {
+				return false
+			}
+		}
+		// Determinism.
+		again := m.Survivors(txs)
+		if len(again) != len(surv) {
+			return false
+		}
+		for i := range surv {
+			if surv[i] != again[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSurvivorsMonotoneInSNR: raising a frame's SNR can only help it.
+func TestSurvivorsMonotoneInSNR(t *testing.T) {
+	base := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	m := DefaultCollisionModel()
+	mk := func(snr0 float64) []Transmission {
+		return []Transmission{
+			{Start: base, End: base.Add(time.Second), SNRDB: snr0},
+			{Start: base.Add(500 * time.Millisecond), End: base.Add(1500 * time.Millisecond), SNRDB: -12},
+		}
+	}
+	contains := func(s []int, v int) bool {
+		for _, x := range s {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	prop := func(lowQ, bumpQ uint8) bool {
+		low := -30 + float64(lowQ)/8
+		high := low + float64(bumpQ)/8
+		lowSurvives := contains(m.Survivors(mk(low)), 0)
+		highSurvives := contains(m.Survivors(mk(high)), 0)
+		// If the weaker version survived, the stronger one must too.
+		return !lowSurvives || highSurvives
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package orbit
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func keplerElements() Elements {
+	return Elements{
+		NoradID:      90500,
+		Name:         "KEPLER-TEST",
+		Epoch:        time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC),
+		Inclination:  51.6 * deg2Rad,
+		Eccentricity: 0.001,
+		ArgPerigee:   0.3,
+		MeanAnomaly:  1.1,
+		MeanMotion:   MeanMotionFromAltitude(550),
+	}
+}
+
+func TestKeplerCircularRadius(t *testing.T) {
+	e := keplerElements()
+	k := NewKeplerPropagator(e)
+	if a := k.SemiMajorAxisKm(); math.Abs(a-(gravityRadiusKm+550)) > 1 {
+		t.Errorf("semi-major axis %.1f, want ≈%.1f", a, gravityRadiusKm+550)
+	}
+	// Near-circular orbit: radius stays within a·(1±2e).
+	for m := 0; m < 200; m += 13 {
+		s := k.PropagateTo(e.Epoch.Add(time.Duration(m) * time.Minute))
+		r := s.Position.Norm()
+		if math.Abs(r-k.SemiMajorAxisKm()) > k.SemiMajorAxisKm()*0.003 {
+			t.Errorf("t=+%dm: radius %.1f deviates from circular", m, r)
+		}
+	}
+}
+
+func TestKeplerPeriodicity(t *testing.T) {
+	e := keplerElements()
+	k := NewKeplerPropagator(e)
+	period := twoPi / e.MeanMotion // minutes
+	s0 := k.PropagateTo(e.Epoch)
+	s1 := k.PropagateTo(e.Epoch.Add(time.Duration(period * float64(time.Minute))))
+	// After one period the position nearly repeats (small J2 drift only).
+	if d := s0.Position.Sub(s1.Position).Norm(); d > 30 {
+		t.Errorf("position after one period differs by %.1f km", d)
+	}
+}
+
+func TestKeplerVisViva(t *testing.T) {
+	e := keplerElements()
+	k := NewKeplerPropagator(e)
+	a := k.SemiMajorAxisKm()
+	for m := 0; m < 300; m += 17 {
+		s := k.PropagateTo(e.Epoch.Add(time.Duration(m) * time.Minute))
+		r := s.Position.Norm()
+		v2 := s.Velocity.Dot(s.Velocity)
+		want := gravityMu * (2/r - 1/a)
+		if rel := math.Abs(v2-want) / want; rel > 1e-3 {
+			t.Errorf("t=+%dm: vis-viva off by %.4f%%", m, rel*100)
+		}
+	}
+}
+
+func TestKeplerAngularMomentumDirection(t *testing.T) {
+	e := keplerElements()
+	k := NewKeplerPropagator(e)
+	s := k.PropagateTo(e.Epoch.Add(37 * time.Minute))
+	h := s.Position.Cross(s.Velocity)
+	incl := math.Acos(h.Z / h.Norm())
+	if math.Abs(incl-e.Inclination) > 1e-6 {
+		t.Errorf("inclination from h = %.6f, want %.6f", incl, e.Inclination)
+	}
+}
+
+func TestKeplerNodeRegressionSign(t *testing.T) {
+	// Prograde orbit (i < 90°): node regresses westward (raanDot < 0).
+	k := NewKeplerPropagator(keplerElements())
+	if k.raanDot >= 0 {
+		t.Errorf("prograde raanDot = %v, want negative", k.raanDot)
+	}
+	// Retrograde (i > 90°): node advances.
+	e := keplerElements()
+	e.Inclination = 97.5 * deg2Rad
+	k = NewKeplerPropagator(e)
+	if k.raanDot <= 0 {
+		t.Errorf("retrograde raanDot = %v, want positive", k.raanDot)
+	}
+}
+
+func TestKeplerEccentricOrbit(t *testing.T) {
+	// A mildly eccentric orbit: perigee/apogee radii match a(1∓e).
+	e := keplerElements()
+	e.Eccentricity = 0.02
+	e.MeanAnomaly = 0 // start at perigee
+	k := NewKeplerPropagator(e)
+	a := k.SemiMajorAxisKm()
+
+	s := k.PropagateTo(e.Epoch)
+	if r := s.Position.Norm(); math.Abs(r-a*(1-0.02)) > 2 {
+		t.Errorf("perigee radius %.1f, want %.1f", r, a*0.98)
+	}
+	// Half a period later: apogee.
+	half := time.Duration(twoPi / e.MeanMotion / 2 * float64(time.Minute))
+	s = k.PropagateTo(e.Epoch.Add(half))
+	if r := s.Position.Norm(); math.Abs(r-a*(1+0.02)) > 5 {
+		t.Errorf("apogee radius %.1f, want %.1f", r, a*1.02)
+	}
+}

@@ -1,0 +1,265 @@
+package orbit
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Pass is one contact window between a satellite and a ground site: the
+// span during which the satellite is above the site's minimum elevation.
+type Pass struct {
+	NoradID int
+	Name    string
+
+	AOS time.Time // acquisition of signal (rise above MinElevation)
+	LOS time.Time // loss of signal
+	TCA time.Time // time of closest approach (max elevation)
+
+	MaxElevation float64 // rad at TCA
+	AOSAzimuth   float64 // rad
+	LOSAzimuth   float64 // rad
+	MinRangeKm   float64 // slant range at TCA
+}
+
+// Duration returns the length of the pass.
+func (p Pass) Duration() time.Duration { return p.LOS.Sub(p.AOS) }
+
+// MaxElevationDeg returns the peak elevation in degrees.
+func (p Pass) MaxElevationDeg() float64 { return p.MaxElevation * rad2Deg }
+
+// String implements fmt.Stringer.
+func (p Pass) String() string {
+	return fmt.Sprintf("%s AOS=%s LOS=%s dur=%s maxEl=%.1f° minRange=%.0fkm",
+		p.Name, p.AOS.Format(time.RFC3339), p.LOS.Format(time.RFC3339),
+		p.Duration().Round(time.Second), p.MaxElevationDeg(), p.MinRangeKm)
+}
+
+// PassPredictor finds contact windows for one satellite over ground sites.
+type PassPredictor struct {
+	prop *Propagator
+
+	// CoarseStep is the scan step used to bracket horizon crossings.
+	// The default of 30 s cannot skip a LEO pass, whose above-horizon
+	// durations are several minutes even at low peak elevation.
+	CoarseStep time.Duration
+
+	// Refine is the bisection tolerance for AOS/LOS times.
+	Refine time.Duration
+}
+
+// NewPassPredictor wraps an SGP4 propagator with pass-search defaults.
+func NewPassPredictor(p *Propagator) *PassPredictor {
+	return &PassPredictor{prop: p, CoarseStep: 30 * time.Second, Refine: 500 * time.Millisecond}
+}
+
+// elevationAt returns the elevation of the satellite above the site at t.
+// Propagation errors surface as a large negative elevation so that a decayed
+// satellite simply stops producing passes.
+func (pp *PassPredictor) elevationAt(site Geodetic, t time.Time) float64 {
+	r, v, err := pp.prop.PositionECEF(t)
+	if err != nil {
+		return -twoPi
+	}
+	return Look(site, r, v).Elevation
+}
+
+// LookAt returns full look angles from the site at time t.
+func (pp *PassPredictor) LookAt(site Geodetic, t time.Time) (LookAngles, error) {
+	r, v, err := pp.prop.PositionECEF(t)
+	if err != nil {
+		return LookAngles{}, err
+	}
+	return Look(site, r, v), nil
+}
+
+// Passes returns every contact window with max elevation above minElevation
+// (radians) between start and end, in chronological order.
+func (pp *PassPredictor) Passes(site Geodetic, start, end time.Time, minElevation float64) []Pass {
+	if !end.After(start) {
+		return nil
+	}
+	step := pp.CoarseStep
+	if step <= 0 {
+		step = 30 * time.Second
+	}
+
+	var passes []Pass
+	prevT := start
+	prevEl := pp.elevationAt(site, prevT)
+	for t := start.Add(step); !t.After(end.Add(step)); t = t.Add(step) {
+		el := pp.elevationAt(site, t)
+		if prevEl < minElevation && el >= minElevation {
+			// Rising edge bracketed in (prevT, t]: refine AOS, then walk
+			// forward to find LOS.
+			aos := pp.bisect(site, prevT, t, minElevation, true)
+			los, ok := pp.findLOS(site, aos, end, step, minElevation)
+			if !ok {
+				// Pass extends beyond the search window; truncate at end.
+				los = end
+			}
+			if pass, ok := pp.buildPass(site, aos, los, minElevation); ok {
+				passes = append(passes, pass)
+			}
+			// Resume scanning after this pass, but never move the cursor
+			// backwards: a pass shorter than the scan step can refine to
+			// an LOS at or before t, and jumping back would re-detect the
+			// same rising edge forever.
+			if los.After(t) {
+				t = los
+				el = pp.elevationAt(site, t)
+			}
+		}
+		prevT, prevEl = t, el
+	}
+	sort.Slice(passes, func(i, j int) bool { return passes[i].AOS.Before(passes[j].AOS) })
+	return passes
+}
+
+// findLOS walks forward from AOS until elevation drops below the mask, then
+// bisects the falling edge. Returns ok=false if the satellite is still up at
+// the search end.
+func (pp *PassPredictor) findLOS(site Geodetic, aos, end time.Time, step time.Duration, minEl float64) (time.Time, bool) {
+	prevT := aos
+	for t := aos.Add(step); !t.After(end); t = t.Add(step) {
+		if pp.elevationAt(site, t) < minEl {
+			return pp.bisect(site, prevT, t, minEl, false), true
+		}
+		prevT = t
+	}
+	return end, false
+}
+
+// bisect refines a horizon crossing bracketed by [lo, hi]. rising selects
+// the crossing direction.
+func (pp *PassPredictor) bisect(site Geodetic, lo, hi time.Time, minEl float64, rising bool) time.Time {
+	tol := pp.Refine
+	if tol <= 0 {
+		tol = time.Second
+	}
+	for hi.Sub(lo) > tol {
+		mid := lo.Add(hi.Sub(lo) / 2)
+		above := pp.elevationAt(site, mid) >= minEl
+		if above == rising {
+			// For a rising edge, "above" means the crossing is earlier.
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo.Add(hi.Sub(lo) / 2)
+}
+
+// buildPass fills in TCA, azimuths and peak stats by sampling the window.
+func (pp *PassPredictor) buildPass(site Geodetic, aos, los time.Time, minEl float64) (Pass, bool) {
+	if !los.After(aos) {
+		return Pass{}, false
+	}
+	els := pp.prop.Elements()
+	pass := Pass{
+		NoradID:      els.NoradID,
+		Name:         els.Name,
+		AOS:          aos,
+		LOS:          los,
+		MaxElevation: -twoPi,
+		MinRangeKm:   1e12,
+	}
+	if la, err := pp.LookAt(site, aos); err == nil {
+		pass.AOSAzimuth = la.Azimuth
+	}
+	if la, err := pp.LookAt(site, los); err == nil {
+		pass.LOSAzimuth = la.Azimuth
+	}
+	// Sample 64 points across the window for TCA; LEO elevation profiles
+	// are unimodal, so dense sampling is accurate to dur/64 which is
+	// seconds-level for a 10-minute pass.
+	const samples = 64
+	dur := los.Sub(aos)
+	for i := 0; i <= samples; i++ {
+		t := aos.Add(dur * time.Duration(i) / samples)
+		la, err := pp.LookAt(site, t)
+		if err != nil {
+			continue
+		}
+		if la.Elevation > pass.MaxElevation {
+			pass.MaxElevation = la.Elevation
+			pass.TCA = t
+		}
+		if la.RangeKm < pass.MinRangeKm {
+			pass.MinRangeKm = la.RangeKm
+		}
+	}
+	return pass, pass.MaxElevation >= minEl
+}
+
+// DailyVisibleDuration sums the above-mask time for the satellite over the
+// site between start and end, returning the mean per-day duration. This is
+// the "theoretical presence duration" of Figure 3a.
+func (pp *PassPredictor) DailyVisibleDuration(site Geodetic, start, end time.Time, minElevation float64) time.Duration {
+	passes := pp.Passes(site, start, end, minElevation)
+	var total time.Duration
+	for _, p := range passes {
+		total += p.Duration()
+	}
+	days := end.Sub(start).Hours() / 24
+	if days <= 0 {
+		return 0
+	}
+	return time.Duration(float64(total) / days)
+}
+
+// MergeWindows merges overlapping [AOS, LOS] windows from multiple
+// satellites into the union coverage intervals of a constellation.
+type Window struct {
+	Start, End time.Time
+}
+
+// Duration returns the window length.
+func (w Window) Duration() time.Duration { return w.End.Sub(w.Start) }
+
+// MergeWindows returns the union of the pass windows as a minimal sorted
+// set of non-overlapping intervals.
+func MergeWindows(passes []Pass) []Window {
+	if len(passes) == 0 {
+		return nil
+	}
+	ws := make([]Window, len(passes))
+	for i, p := range passes {
+		ws[i] = Window{Start: p.AOS, End: p.LOS}
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Start.Before(ws[j].Start) })
+	merged := ws[:1]
+	for _, w := range ws[1:] {
+		last := &merged[len(merged)-1]
+		if !w.Start.After(last.End) {
+			if w.End.After(last.End) {
+				last.End = w.End
+			}
+			continue
+		}
+		merged = append(merged, w)
+	}
+	return merged
+}
+
+// TotalDuration sums the durations of a set of windows.
+func TotalDuration(ws []Window) time.Duration {
+	var total time.Duration
+	for _, w := range ws {
+		total += w.Duration()
+	}
+	return total
+}
+
+// Gaps returns the intervals between consecutive windows — the paper's
+// "contact intervals" of Figure 4b.
+func Gaps(ws []Window) []time.Duration {
+	if len(ws) < 2 {
+		return nil
+	}
+	gaps := make([]time.Duration, 0, len(ws)-1)
+	for i := 1; i < len(ws); i++ {
+		gaps = append(gaps, ws[i].Start.Sub(ws[i-1].End))
+	}
+	return gaps
+}

@@ -1,0 +1,380 @@
+package orbit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Errors returned by the TLE parser.
+var (
+	ErrTLEFormat   = errors.New("orbit: malformed TLE")
+	ErrTLEChecksum = errors.New("orbit: TLE checksum mismatch")
+)
+
+// TLE is a parsed two-line element set. Angles are stored in degrees exactly
+// as they appear on the card; Elements() converts to the radian/册minute units
+// SGP4 consumes.
+type TLE struct {
+	Name string // optional line-0 satellite name
+
+	// Line 1 fields.
+	NoradID   int       // satellite catalog number
+	Class     byte      // classification (U, C, S)
+	IntlDesig string    // international designator (launch year/number/piece)
+	Epoch     time.Time // element-set epoch, UTC
+	NDot      float64   // first derivative of mean motion / 2, rev/day²
+	NDDot     float64   // second derivative of mean motion / 6, rev/day³
+	BStar     float64   // drag term, 1/earth-radii
+	ElsetNum  int       // element set number
+
+	// Line 2 fields.
+	InclinationDeg float64 // orbital inclination, degrees
+	RAANDeg        float64 // right ascension of ascending node, degrees
+	Eccentricity   float64 // dimensionless
+	ArgPerigeeDeg  float64 // argument of perigee, degrees
+	MeanAnomalyDeg float64 // mean anomaly, degrees
+	MeanMotion     float64 // revolutions per day
+	RevNumber      int     // revolution number at epoch
+}
+
+// ParseTLE parses a two- or three-line element set. When three lines are
+// supplied the first is taken as the satellite name. Checksums on both data
+// lines are verified.
+func ParseTLE(text string) (TLE, error) {
+	var tle TLE
+	lines := make([]string, 0, 3)
+	for _, ln := range strings.Split(text, "\n") {
+		ln = strings.TrimRight(ln, "\r ")
+		if strings.TrimSpace(ln) != "" {
+			lines = append(lines, ln)
+		}
+	}
+	var l1, l2 string
+	switch len(lines) {
+	case 2:
+		l1, l2 = lines[0], lines[1]
+	case 3:
+		tle.Name = strings.TrimSpace(lines[0])
+		l1, l2 = lines[1], lines[2]
+	default:
+		return tle, fmt.Errorf("%w: expected 2 or 3 lines, got %d", ErrTLEFormat, len(lines))
+	}
+	if err := parseLine1(&tle, l1); err != nil {
+		return tle, err
+	}
+	if err := parseLine2(&tle, l2); err != nil {
+		return tle, err
+	}
+	return tle, nil
+}
+
+func parseLine1(tle *TLE, line string) error {
+	if len(line) < 69 || line[0] != '1' {
+		return fmt.Errorf("%w: bad line 1 %q", ErrTLEFormat, line)
+	}
+	if err := verifyChecksum(line); err != nil {
+		return err
+	}
+	var err error
+	if tle.NoradID, err = atoiField(line[2:7]); err != nil {
+		return fmt.Errorf("%w: catalog number: %v", ErrTLEFormat, err)
+	}
+	tle.Class = line[7]
+	tle.IntlDesig = strings.TrimSpace(line[9:17])
+
+	yy, err := atoiField(line[18:20])
+	if err != nil {
+		return fmt.Errorf("%w: epoch year: %v", ErrTLEFormat, err)
+	}
+	doy, err := atofField(line[20:32])
+	if err != nil {
+		return fmt.Errorf("%w: epoch day: %v", ErrTLEFormat, err)
+	}
+	tle.Epoch = epochToTime(yy, doy)
+
+	if tle.NDot, err = atofField(line[33:43]); err != nil {
+		return fmt.Errorf("%w: ndot: %v", ErrTLEFormat, err)
+	}
+	if tle.NDDot, err = parseExpField(line[44:52]); err != nil {
+		return fmt.Errorf("%w: nddot: %v", ErrTLEFormat, err)
+	}
+	if tle.BStar, err = parseExpField(line[53:61]); err != nil {
+		return fmt.Errorf("%w: bstar: %v", ErrTLEFormat, err)
+	}
+	if tle.ElsetNum, err = atoiField(line[64:68]); err != nil {
+		return fmt.Errorf("%w: element number: %v", ErrTLEFormat, err)
+	}
+	return nil
+}
+
+func parseLine2(tle *TLE, line string) error {
+	if len(line) < 69 || line[0] != '2' {
+		return fmt.Errorf("%w: bad line 2 %q", ErrTLEFormat, line)
+	}
+	if err := verifyChecksum(line); err != nil {
+		return err
+	}
+	id, err := atoiField(line[2:7])
+	if err != nil {
+		return fmt.Errorf("%w: catalog number: %v", ErrTLEFormat, err)
+	}
+	if id != tle.NoradID {
+		return fmt.Errorf("%w: line 1/2 catalog numbers differ (%d vs %d)", ErrTLEFormat, tle.NoradID, id)
+	}
+	if tle.InclinationDeg, err = atofField(line[8:16]); err != nil {
+		return fmt.Errorf("%w: inclination: %v", ErrTLEFormat, err)
+	}
+	if tle.RAANDeg, err = atofField(line[17:25]); err != nil {
+		return fmt.Errorf("%w: raan: %v", ErrTLEFormat, err)
+	}
+	ecc, err := atofField("0." + strings.TrimSpace(line[26:33]))
+	if err != nil {
+		return fmt.Errorf("%w: eccentricity: %v", ErrTLEFormat, err)
+	}
+	tle.Eccentricity = ecc
+	if tle.ArgPerigeeDeg, err = atofField(line[34:42]); err != nil {
+		return fmt.Errorf("%w: arg perigee: %v", ErrTLEFormat, err)
+	}
+	if tle.MeanAnomalyDeg, err = atofField(line[43:51]); err != nil {
+		return fmt.Errorf("%w: mean anomaly: %v", ErrTLEFormat, err)
+	}
+	if tle.MeanMotion, err = atofField(line[52:63]); err != nil {
+		return fmt.Errorf("%w: mean motion: %v", ErrTLEFormat, err)
+	}
+	if rev := strings.TrimSpace(line[63:68]); rev != "" {
+		if tle.RevNumber, err = atoiField(rev); err != nil {
+			return fmt.Errorf("%w: rev number: %v", ErrTLEFormat, err)
+		}
+	}
+	return nil
+}
+
+// verifyChecksum validates the modulo-10 checksum in column 69.
+func verifyChecksum(line string) error {
+	want := int(line[68] - '0')
+	if got := checksum(line[:68]); got != want {
+		return fmt.Errorf("%w: computed %d, card says %d", ErrTLEChecksum, got, want)
+	}
+	return nil
+}
+
+// checksum computes the TLE modulo-10 checksum: digits count as their value,
+// minus signs count as 1, everything else as 0.
+func checksum(s string) int {
+	sum := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			sum += int(c - '0')
+		case c == '-':
+			sum++
+		}
+	}
+	return sum % 10
+}
+
+// parseExpField parses the TLE "implied decimal point, implied exponent"
+// notation used for B* and nddot, e.g. " 34123-4" meaning 0.34123e-4.
+func parseExpField(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	sign := 1.0
+	switch s[0] {
+	case '-':
+		sign = -1
+		s = s[1:]
+	case '+':
+		s = s[1:]
+	}
+	if s == "" {
+		return 0, nil
+	}
+	// Split off the exponent: the last '+' or '-' in the remaining string.
+	expIdx := strings.LastIndexAny(s, "+-")
+	if expIdx <= 0 {
+		// No exponent; treat as plain implied-decimal mantissa.
+		m, err := strconv.ParseFloat("0."+strings.TrimSpace(s), 64)
+		return sign * m, err
+	}
+	mant, expStr := s[:expIdx], s[expIdx:]
+	m, err := strconv.ParseFloat("0."+strings.TrimSpace(mant), 64)
+	if err != nil {
+		return 0, err
+	}
+	e, err := strconv.Atoi(strings.TrimPrefix(expStr, "+"))
+	if err != nil {
+		return 0, err
+	}
+	return sign * m * pow10(e), nil
+}
+
+func pow10(e int) float64 {
+	v := 1.0
+	if e >= 0 {
+		for i := 0; i < e; i++ {
+			v *= 10
+		}
+		return v
+	}
+	for i := 0; i < -e; i++ {
+		v /= 10
+	}
+	return v
+}
+
+func atoiField(s string) (int, error) {
+	return strconv.Atoi(strings.TrimSpace(s))
+}
+
+func atofField(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+// Format renders the TLE back to canonical two-line (or three-line, when a
+// name is present) card format with valid checksums.
+func (t TLE) Format() string {
+	yy, doy := timeToEpoch(t.Epoch)
+	l1 := fmt.Sprintf("1 %05d%c %-8s %02d%012.8f %s %s %s 0 %4d",
+		t.NoradID, classOrU(t.Class), t.IntlDesig, yy, doy,
+		formatNDot(t.NDot), formatExpField(t.NDDot), formatExpField(t.BStar),
+		t.ElsetNum%10000)
+	l1 += strconv.Itoa(checksum(l1))
+
+	l2 := fmt.Sprintf("2 %05d %8.4f %8.4f %07d %8.4f %8.4f %11.8f%5d",
+		t.NoradID, t.InclinationDeg, t.RAANDeg,
+		int(t.Eccentricity*1e7+0.5),
+		t.ArgPerigeeDeg, t.MeanAnomalyDeg, t.MeanMotion, t.RevNumber%100000)
+	l2 += strconv.Itoa(checksum(l2))
+
+	if t.Name != "" {
+		return t.Name + "\n" + l1 + "\n" + l2
+	}
+	return l1 + "\n" + l2
+}
+
+func classOrU(c byte) byte {
+	if c == 0 {
+		return 'U'
+	}
+	return c
+}
+
+func formatNDot(v float64) string {
+	s := fmt.Sprintf("%.8f", v)
+	neg := strings.HasPrefix(s, "-")
+	s = strings.TrimPrefix(s, "-")
+	s = strings.TrimPrefix(s, "0") // implied leading zero
+	if neg {
+		return "-" + s
+	}
+	return " " + s
+}
+
+// formatExpField renders a value in the implied-decimal exponent notation.
+func formatExpField(v float64) string {
+	if v == 0 {
+		return " 00000+0"
+	}
+	sign := " "
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	exp := 0
+	for v < 0.1 {
+		v *= 10
+		exp--
+	}
+	for v >= 1.0 {
+		v /= 10
+		exp++
+	}
+	mant := int(v*1e5 + 0.5)
+	if mant >= 100000 { // rounding pushed us to 1.0
+		mant = 10000
+		exp++
+	}
+	expSign := "+"
+	if exp < 0 {
+		expSign = "-"
+		exp = -exp
+	}
+	return fmt.Sprintf("%s%05d%s%d", sign, mant, expSign, exp)
+}
+
+// Elements converts the card units into the radian / radians-per-minute
+// units consumed by the SGP4 initializer.
+func (t TLE) Elements() Elements {
+	return Elements{
+		NoradID:      t.NoradID,
+		Name:         t.Name,
+		Epoch:        t.Epoch,
+		BStar:        t.BStar,
+		Inclination:  t.InclinationDeg * deg2Rad,
+		RAAN:         t.RAANDeg * deg2Rad,
+		Eccentricity: t.Eccentricity,
+		ArgPerigee:   t.ArgPerigeeDeg * deg2Rad,
+		MeanAnomaly:  t.MeanAnomalyDeg * deg2Rad,
+		MeanMotion:   t.MeanMotion * twoPi / minutesPerDay,
+	}
+}
+
+// Elements are Brouwer mean orbital elements in SGP4's internal units:
+// radians and radians per minute.
+type Elements struct {
+	NoradID      int
+	Name         string
+	Epoch        time.Time
+	BStar        float64 // 1/earth-radii
+	Inclination  float64 // rad
+	RAAN         float64 // rad
+	Eccentricity float64
+	ArgPerigee   float64 // rad
+	MeanAnomaly  float64 // rad
+	MeanMotion   float64 // rad/min (Kozai mean motion)
+}
+
+// TLE renders the elements as a TLE card, the inverse of TLE.Elements.
+func (e Elements) TLE() TLE {
+	return TLE{
+		Name:           e.Name,
+		NoradID:        e.NoradID,
+		Class:          'U',
+		IntlDesig:      "24001A",
+		Epoch:          e.Epoch,
+		BStar:          e.BStar,
+		InclinationDeg: e.Inclination * rad2Deg,
+		RAANDeg:        wrapTwoPi(e.RAAN) * rad2Deg,
+		Eccentricity:   e.Eccentricity,
+		ArgPerigeeDeg:  wrapTwoPi(e.ArgPerigee) * rad2Deg,
+		MeanAnomalyDeg: wrapTwoPi(e.MeanAnomaly) * rad2Deg,
+		MeanMotion:     e.MeanMotion * minutesPerDay / twoPi,
+	}
+}
+
+// MeanMotionFromAltitude returns the circular-orbit mean motion (rad/min)
+// for a satellite at the given altitude above the mean equatorial radius.
+func MeanMotionFromAltitude(altKm float64) float64 {
+	a := gravityRadiusKm + altKm
+	// n = sqrt(mu/a^3) rad/s → rad/min
+	return math.Sqrt(gravityMu/(a*a*a)) * 60.0
+}
+
+// AltitudeFromMeanMotion inverts MeanMotionFromAltitude.
+func AltitudeFromMeanMotion(nRadPerMin float64) float64 {
+	n := nRadPerMin / 60.0
+	a := math.Cbrt(gravityMu / (n * n))
+	return a - gravityRadiusKm
+}
+
+// OrbitalPeriod returns the orbital period for elements e.
+func (e Elements) OrbitalPeriod() time.Duration {
+	return time.Duration(twoPi / e.MeanMotion * float64(time.Minute))
+}

@@ -1,0 +1,247 @@
+package orbit
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// issTLE is a historical ISS element set (epoch 2008-09-20), the canonical
+// test card used by the reference SGP4 distribution.
+const issTLE = `ISS (ZARYA)
+1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927
+2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537`
+
+func TestParseTLEISS(t *testing.T) {
+	tle, err := ParseTLE(issTLE)
+	if err != nil {
+		t.Fatalf("ParseTLE: %v", err)
+	}
+	if tle.Name != "ISS (ZARYA)" {
+		t.Errorf("Name = %q", tle.Name)
+	}
+	if tle.NoradID != 25544 {
+		t.Errorf("NoradID = %d", tle.NoradID)
+	}
+	if tle.Class != 'U' {
+		t.Errorf("Class = %c", tle.Class)
+	}
+	if tle.IntlDesig != "98067A" {
+		t.Errorf("IntlDesig = %q", tle.IntlDesig)
+	}
+	if got := tle.Epoch.Year(); got != 2008 {
+		t.Errorf("Epoch year = %d", got)
+	}
+	if math.Abs(tle.InclinationDeg-51.6416) > 1e-9 {
+		t.Errorf("Inclination = %v", tle.InclinationDeg)
+	}
+	if math.Abs(tle.Eccentricity-0.0006703) > 1e-12 {
+		t.Errorf("Eccentricity = %v", tle.Eccentricity)
+	}
+	if math.Abs(tle.MeanMotion-15.72125391) > 1e-8 {
+		t.Errorf("MeanMotion = %v", tle.MeanMotion)
+	}
+	if math.Abs(tle.BStar-(-0.11606e-4)) > 1e-12 {
+		t.Errorf("BStar = %v", tle.BStar)
+	}
+	if math.Abs(tle.NDot-(-0.00002182)) > 1e-12 {
+		t.Errorf("NDot = %v", tle.NDot)
+	}
+	if tle.RevNumber != 56353 {
+		t.Errorf("RevNumber = %d", tle.RevNumber)
+	}
+}
+
+func TestParseTLETwoLines(t *testing.T) {
+	lines := strings.SplitN(issTLE, "\n", 2)[1]
+	tle, err := ParseTLE(lines)
+	if err != nil {
+		t.Fatalf("ParseTLE without name: %v", err)
+	}
+	if tle.Name != "" || tle.NoradID != 25544 {
+		t.Errorf("got name=%q id=%d", tle.Name, tle.NoradID)
+	}
+}
+
+func TestParseTLEChecksumRejected(t *testing.T) {
+	bad := strings.Replace(issTLE, "0  2927", "0  2928", 1)
+	if _, err := ParseTLE(bad); !errors.Is(err, ErrTLEChecksum) {
+		t.Errorf("want ErrTLEChecksum, got %v", err)
+	}
+}
+
+func TestParseTLEFormatErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"only one line",
+		"a\nb\nc\nd",
+		"2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537\n" +
+			"1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927",
+	}
+	for _, c := range cases {
+		if _, err := ParseTLE(c); err == nil {
+			t.Errorf("ParseTLE(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	// '-' counts as 1, letters as 0.
+	if got := checksum("1 25544U"); got != (1+2+5+5+4+4)%10 {
+		t.Errorf("checksum = %d", got)
+	}
+	if got := checksum("---"); got != 3 {
+		t.Errorf("checksum of dashes = %d", got)
+	}
+}
+
+func TestParseExpField(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{" 00000-0", 0},
+		{" 00000+0", 0},
+		{"-11606-4", -0.11606e-4},
+		{" 34123-4", 0.34123e-4},
+		{" 13844-3", 0.13844e-3},
+		{"", 0},
+	}
+	for _, c := range cases {
+		got, err := parseExpField(c.in)
+		if err != nil {
+			t.Errorf("parseExpField(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("parseExpField(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig, err := ParseTLE(issTLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := ParseTLE(orig.Format())
+	if err != nil {
+		t.Fatalf("re-parse formatted TLE: %v\n%s", err, orig.Format())
+	}
+	if re.NoradID != orig.NoradID {
+		t.Errorf("NoradID changed: %d -> %d", orig.NoradID, re.NoradID)
+	}
+	if math.Abs(re.InclinationDeg-orig.InclinationDeg) > 1e-4 {
+		t.Errorf("inclination drift: %v -> %v", orig.InclinationDeg, re.InclinationDeg)
+	}
+	if math.Abs(re.MeanMotion-orig.MeanMotion) > 1e-7 {
+		t.Errorf("mean motion drift: %v -> %v", orig.MeanMotion, re.MeanMotion)
+	}
+	if math.Abs(re.Eccentricity-orig.Eccentricity) > 1e-7 {
+		t.Errorf("eccentricity drift: %v -> %v", orig.Eccentricity, re.Eccentricity)
+	}
+	if math.Abs(re.BStar-orig.BStar) > 1e-9 {
+		t.Errorf("bstar drift: %v -> %v", orig.BStar, re.BStar)
+	}
+	if d := re.Epoch.Sub(orig.Epoch); d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("epoch drift %v", d)
+	}
+}
+
+func TestElementsRoundTrip(t *testing.T) {
+	prop := func(incl, raan, ecc, argp, ma, mm uint16) bool {
+		e := Elements{
+			NoradID:      90001,
+			Epoch:        time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC),
+			Inclination:  float64(incl) / 65535 * math.Pi,
+			RAAN:         float64(raan) / 65535 * twoPi,
+			Eccentricity: float64(ecc) / 65535 * 0.01,
+			ArgPerigee:   float64(argp) / 65535 * twoPi,
+			MeanAnomaly:  float64(ma) / 65535 * twoPi,
+			MeanMotion:   (14 + 2*float64(mm)/65535) * twoPi / minutesPerDay,
+		}
+		back := e.TLE().Elements()
+		return math.Abs(back.Inclination-e.Inclination) < 1e-4 &&
+			math.Abs(back.Eccentricity-e.Eccentricity) < 1e-6 &&
+			math.Abs(back.MeanMotion-e.MeanMotion) < 1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatChecksumsValid(t *testing.T) {
+	e := Elements{
+		NoradID:      90001,
+		Name:         "SINET-TEST",
+		Epoch:        time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC),
+		Inclination:  97.6 * deg2Rad,
+		RAAN:         123.4 * deg2Rad,
+		Eccentricity: 0.0012,
+		ArgPerigee:   45 * deg2Rad,
+		MeanAnomaly:  10 * deg2Rad,
+		MeanMotion:   MeanMotionFromAltitude(550),
+		BStar:        1.5e-5,
+	}
+	card := e.TLE().Format()
+	if _, err := ParseTLE(card); err != nil {
+		t.Fatalf("generated card fails to parse: %v\n%s", err, card)
+	}
+}
+
+func TestMeanMotionAltitudeInverse(t *testing.T) {
+	for _, alt := range []float64{300, 441.9, 550, 815.7, 897.5, 2000} {
+		n := MeanMotionFromAltitude(alt)
+		back := AltitudeFromMeanMotion(n)
+		if math.Abs(back-alt) > 1e-6 {
+			t.Errorf("altitude %v -> %v", alt, back)
+		}
+	}
+	// ISS-like altitude should give ~15.5 rev/day.
+	revPerDay := MeanMotionFromAltitude(420) * minutesPerDay / twoPi
+	if revPerDay < 15.4 || revPerDay > 15.8 {
+		t.Errorf("420 km -> %.2f rev/day, want ~15.6", revPerDay)
+	}
+}
+
+func TestOrbitalPeriod(t *testing.T) {
+	e := Elements{MeanMotion: MeanMotionFromAltitude(550)}
+	p := e.OrbitalPeriod()
+	if p < 90*time.Minute || p > 100*time.Minute {
+		t.Errorf("550 km period = %v, want ~95.5 min", p)
+	}
+}
+
+func TestFormatExpField(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, " 00000+0"},
+		{0.34123e-4, " 34123-4"},
+		{-0.11606e-4, "-11606-4"},
+	}
+	for _, c := range cases {
+		if got := formatExpField(c.in); got != c.want {
+			t.Errorf("formatExpField(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Round trip property on the representable range.
+	prop := func(m uint16, negExp bool) bool {
+		v := (float64(m)/65536 + 1e-6) * 1e-3
+		if negExp {
+			v = -v
+		}
+		got, err := parseExpField(formatExpField(v))
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-v) <= math.Abs(v)*1e-4+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package report renders the tables and figure series of the reproduction
+// as aligned ASCII suitable for terminals and EXPERIMENTS.md: simple
+// tables, labelled key-value blocks, CDF curves and bar charts.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/sinet-io/sinet/internal/stats"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Bars renders a labelled horizontal bar chart scaled to width chars.
+func Bars(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if width <= 0 {
+		width = 50
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if i < len(labels) && len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s | %s %s\n", maxLabel, label, strings.Repeat("#", n), formatFloat(v))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CDFCurve renders a CDF as an x/F(x) listing at the given quantile grid.
+func CDFCurve(w io.Writer, title string, c *stats.CDF, points int) error {
+	if points < 2 {
+		points = 10
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s (n=%d)\n", title, c.N())
+	}
+	for _, p := range c.Points(points) {
+		bars := int(p.Y * 40)
+		fmt.Fprintf(&b, "%10s | %-40s %.2f\n", formatFloat(p.X), strings.Repeat("#", bars), p.Y)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Section writes a prominent section header.
+func Section(w io.Writer, id, title string) error {
+	line := fmt.Sprintf("== %s: %s ", id, title)
+	if pad := 72 - len(line); pad > 0 {
+		line += strings.Repeat("=", pad)
+	}
+	_, err := fmt.Fprintf(w, "\n%s\n\n", line)
+	return err
+}
+
+// KV writes an aligned key-value line.
+func KV(w io.Writer, key string, value any) error {
+	var v string
+	switch x := value.(type) {
+	case float64:
+		v = formatFloat(x)
+	default:
+		v = fmt.Sprintf("%v", x)
+	}
+	_, err := fmt.Fprintf(w, "  %-38s %s\n", key+":", v)
+	return err
+}

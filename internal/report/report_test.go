@@ -1,0 +1,122 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sinet-io/sinet/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Table X: demo", "City", "# GS", "Traces")
+	tab.AddRow("HK", 6, 31330)
+	tab.AddRow("LDN", 5, 799)
+	tab.AddRow("mean", 5.5, 16064.5)
+	out := tab.String()
+	if !strings.Contains(out, "Table X: demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "City") || !strings.Contains(out, "Traces") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(out, "31330") {
+		t.Error("row data missing")
+	}
+	if !strings.Contains(out, "5.50") {
+		t.Errorf("float formatting: %s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + rule + 3 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns align: each data line at least as long as the header line.
+	hdr := lines[1]
+	for _, ln := range lines[3:] {
+		if len(ln) > len(hdr)+20 {
+			t.Errorf("row much longer than header: %q", ln)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{3.14159, "3.14"},
+		{12345.6, "12346"},
+		{0.0421, "0.0421"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	var b strings.Builder
+	err := Bars(&b, "Fig: demo", []string{"sunny", "rainy"}, []float64{0.8, 0.4}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "sunny") || !strings.Contains(out, "rainy") {
+		t.Error("labels missing")
+	}
+	// Sunny's bar must be longer than rainy's.
+	sunnyHashes := strings.Count(strings.Split(out, "\n")[1], "#")
+	rainyHashes := strings.Count(strings.Split(out, "\n")[2], "#")
+	if sunnyHashes <= rainyHashes {
+		t.Errorf("bar lengths wrong: %d vs %d", sunnyHashes, rainyHashes)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	var b strings.Builder
+	if err := Bars(&b, "", []string{"a"}, []float64{0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "#") {
+		t.Error("zero value produced bars")
+	}
+}
+
+func TestCDFCurve(t *testing.T) {
+	c, err := stats.NewCDF([]float64{600, 1000, 1500, 2000, 3400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := CDFCurve(&b, "Fig 8: distances", c, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "n=5") {
+		t.Error("sample count missing")
+	}
+	if lines := strings.Count(out, "\n"); lines != 6 {
+		t.Errorf("line count = %d", lines)
+	}
+}
+
+func TestSectionAndKV(t *testing.T) {
+	var b strings.Builder
+	if err := Section(&b, "F4a", "Contact windows"); err != nil {
+		t.Fatal(err)
+	}
+	if err := KV(&b, "shrink", 0.851); err != nil {
+		t.Fatal(err)
+	}
+	if err := KV(&b, "constellation", "Tianqi"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "== F4a: Contact windows") {
+		t.Error("section header missing")
+	}
+	if !strings.Contains(out, "shrink:") || !strings.Contains(out, "Tianqi") {
+		t.Error("kv lines missing")
+	}
+}

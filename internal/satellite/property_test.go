@@ -1,0 +1,60 @@
+package satellite
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBufferInvariants drives a buffer with a random push/flush script and
+// checks the capacity, conservation and FIFO invariants throughout.
+func TestBufferInvariants(t *testing.T) {
+	prop := func(capQ uint8, script []uint8) bool {
+		capacity := int(capQ % 16) // 0 = unbounded
+		b := NewBuffer(capacity)
+		var model []uint64 // reference queue
+		next := uint64(0)
+		pushed, dropped := 0, 0
+
+		for _, op := range script {
+			if op%3 == 0 && len(model) > 0 {
+				// Flush and compare FIFO order with the model.
+				got := b.Flush()
+				if len(got) != len(model) {
+					return false
+				}
+				for i := range got {
+					if got[i].SeqID != model[i] {
+						return false
+					}
+				}
+				model = model[:0]
+				continue
+			}
+			ok := b.Push(StoredPacket{SeqID: next})
+			if capacity > 0 && len(model) >= capacity {
+				if ok {
+					return false // must have been rejected
+				}
+				dropped++
+			} else {
+				if !ok {
+					return false // must have been accepted
+				}
+				model = append(model, next)
+				pushed++
+			}
+			next++
+		}
+
+		if b.Len() != len(model) {
+			return false
+		}
+		if capacity > 0 && b.Len() > capacity {
+			return false
+		}
+		return b.Stored == pushed && b.Dropped == dropped
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package satellite models the orbiting IoT gateway of a DtS system: a
+// LEO satellite that broadcasts beacons, receives node uplinks, stores
+// packets in a finite store-and-forward buffer, and downlinks the buffer
+// when it passes over an operator ground station. Buffer pressure and
+// drops model the "satellite resource constraints" the paper lists among
+// DtS loss causes.
+package satellite
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/orbit"
+)
+
+// StoredPacket is one uplinked IoT packet held on board.
+type StoredPacket struct {
+	NodeID       string
+	SeqID        uint64
+	PayloadBytes int
+	// SentAt is when the node generated/transmitted the packet.
+	SentAt time.Time
+	// ReceivedAt is when the satellite decoded the uplink.
+	ReceivedAt time.Time
+	// Attempt is the uplink attempt index that succeeded.
+	Attempt int
+}
+
+// Buffer is the on-board store-and-forward queue.
+type Buffer struct {
+	capacity int
+	queue    []StoredPacket
+
+	// Dropped counts packets rejected because the buffer was full.
+	Dropped int
+	// Stored counts total packets accepted.
+	Stored int
+}
+
+// NewBuffer creates a buffer holding up to capacity packets. A zero or
+// negative capacity means unbounded.
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{capacity: capacity}
+}
+
+// Len returns the number of queued packets.
+func (b *Buffer) Len() int { return len(b.queue) }
+
+// Capacity returns the configured capacity (0 = unbounded).
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// Push stores a packet, reporting false (and counting a drop) when full.
+func (b *Buffer) Push(p StoredPacket) bool {
+	if b.capacity > 0 && len(b.queue) >= b.capacity {
+		b.Dropped++
+		return false
+	}
+	b.queue = append(b.queue, p)
+	b.Stored++
+	return true
+}
+
+// Flush removes and returns every queued packet (FIFO order).
+func (b *Buffer) Flush() []StoredPacket {
+	out := b.queue
+	b.queue = nil
+	return out
+}
+
+// Gateway is one satellite acting as an IoT gateway.
+type Gateway struct {
+	NoradID int
+	Name    string
+	Prop    *orbit.Propagator
+	Buffer  *Buffer
+
+	// BeaconInterval is the gateway's beacon period.
+	BeaconInterval time.Duration
+	// AckTurnaround is the gap between decoding an uplink and transmitting
+	// the ACK.
+	AckTurnaround time.Duration
+}
+
+// NewGateway wraps a propagator as a gateway with the given buffer size.
+func NewGateway(prop *orbit.Propagator, beaconInterval time.Duration, bufferCapacity int) *Gateway {
+	els := prop.Elements()
+	return &Gateway{
+		NoradID:        els.NoradID,
+		Name:           els.Name,
+		Prop:           prop,
+		Buffer:         NewBuffer(bufferCapacity),
+		BeaconInterval: beaconInterval,
+		AckTurnaround:  500 * time.Millisecond,
+	}
+}
+
+// String implements fmt.Stringer.
+func (g *Gateway) String() string {
+	return fmt.Sprintf("gateway %s (NORAD %d, buffer %d/%d)", g.Name, g.NoradID, g.Buffer.Len(), g.Buffer.Capacity())
+}
+
+// BeaconTimes returns the beacon emission instants within [start, end):
+// a deterministic grid anchored at the satellite's epoch so that beacon
+// phase is stable across passes.
+func (g *Gateway) BeaconTimes(start, end time.Time) []time.Time {
+	if !end.After(start) || g.BeaconInterval <= 0 {
+		return nil
+	}
+	epoch := g.Prop.Elements().Epoch
+	offset := start.Sub(epoch)
+	// First beacon at or after start.
+	n := offset / g.BeaconInterval
+	first := epoch.Add(n * g.BeaconInterval)
+	for first.Before(start) {
+		first = first.Add(g.BeaconInterval)
+	}
+	var out []time.Time
+	for t := first; t.Before(end); t = t.Add(g.BeaconInterval) {
+		out = append(out, t)
+	}
+	return out
+}
+
+// GeometryAt returns the look geometry from a ground point to the gateway
+// at time t.
+func (g *Gateway) GeometryAt(site orbit.Geodetic, t time.Time) (orbit.LookAngles, error) {
+	r, v, err := g.Prop.PositionECEF(t)
+	if err != nil {
+		return orbit.LookAngles{}, err
+	}
+	return orbit.Look(site, r, v), nil
+}
+
+// AltitudeAt returns the satellite altitude at t.
+func (g *Gateway) AltitudeAt(t time.Time) (float64, error) {
+	geo, err := g.Prop.Subpoint(t)
+	if err != nil {
+		return 0, err
+	}
+	return geo.Alt, nil
+}

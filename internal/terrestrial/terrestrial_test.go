@@ -1,0 +1,118 @@
+package terrestrial
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/channel"
+	"github.com/sinet-io/sinet/internal/orbit"
+)
+
+var t0 = time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestGatewayNearPerfectReliability(t *testing.T) {
+	// §3.2: terrestrial LoRaWAN achieves nearly 100% reliability. A sensor
+	// a few hundred metres away must essentially always get through.
+	g := NewGateway("rak-1", orbit.NewGeodeticDeg(22.0, 101.0, 1.2), 7)
+	ok := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		up := g.Receive(t0.Add(time.Duration(i)*time.Minute), 0.4, channel.Sunny, 20)
+		if up.Received {
+			ok++
+			if up.ServerAt.IsZero() {
+				t.Fatal("received packet has no delivery time")
+			}
+		}
+	}
+	if rate := float64(ok) / n; rate < 0.99 {
+		t.Errorf("400 m terrestrial reliability = %.3f, want ≈1.0", rate)
+	}
+}
+
+func TestGatewayLatencySubMinute(t *testing.T) {
+	// Paper Fig. 5c: terrestrial average latency 0.2 min (≈12 s), which
+	// is dominated by network/application-server processing rather than
+	// the radio. Assert the same order: seconds, well under a minute.
+	g := NewGateway("rak-1", orbit.NewGeodeticDeg(22.0, 101.0, 1.2), 8)
+	var total time.Duration
+	count := 0
+	for i := 0; i < 500; i++ {
+		tx := t0.Add(time.Duration(i) * time.Minute)
+		up := g.Receive(tx, 0.4, channel.Sunny, 20)
+		if !up.Received {
+			continue
+		}
+		total += up.ServerAt.Sub(tx)
+		count++
+	}
+	if count == 0 {
+		t.Fatal("no packets received")
+	}
+	mean := total / time.Duration(count)
+	if mean > 30*time.Second {
+		t.Errorf("mean terrestrial latency = %v, want ≈0.2 min like the paper", mean)
+	}
+	if mean < time.Second {
+		t.Errorf("mean terrestrial latency = %v suspiciously below server-processing floor", mean)
+	}
+	if mean <= 0 {
+		t.Error("non-positive latency")
+	}
+}
+
+func TestGatewayRangeDegradation(t *testing.T) {
+	rate := func(distKm float64) float64 {
+		g := NewGateway("rak-1", orbit.NewGeodeticDeg(22.0, 101.0, 1.2), 9)
+		ok := 0
+		const n = 400
+		for i := 0; i < n; i++ {
+			if g.Receive(t0, distKm, channel.Sunny, 20).Received {
+				ok++
+			}
+		}
+		return float64(ok) / n
+	}
+	near, far := rate(0.5), rate(60)
+	if far >= near {
+		t.Errorf("rate at 60 km (%.2f) not below 0.5 km (%.2f)", far, near)
+	}
+}
+
+func TestDeploymentNearest(t *testing.T) {
+	centre := orbit.NewGeodeticDeg(22.0, 101.0, 1.2)
+	d := NewDeployment(3, centre, 11)
+	if len(d.Gateways) != 3 {
+		t.Fatalf("gateways = %d", len(d.Gateways))
+	}
+	// Distinct IDs and locations.
+	seen := map[string]bool{}
+	for _, g := range d.Gateways {
+		if seen[g.ID] {
+			t.Errorf("duplicate gateway ID %s", g.ID)
+		}
+		seen[g.ID] = true
+	}
+	sensor := orbit.NewGeodeticDeg(22.0005, 101.0, 1.2)
+	g, dist := d.Nearest(sensor)
+	if g == nil {
+		t.Fatal("no nearest gateway")
+	}
+	if dist > 1.0 {
+		t.Errorf("nearest distance = %.2f km, want < 1 km", dist)
+	}
+	// The nearest really is nearest.
+	for _, other := range d.Gateways {
+		if od := orbit.HaversineKm(sensor, other.Location); od < dist-1e-9 {
+			t.Errorf("gateway %s at %.3f km closer than reported nearest %.3f km", other.ID, od, dist)
+		}
+	}
+}
+
+func TestEmptyDeployment(t *testing.T) {
+	d := &Deployment{}
+	g, _ := d.Nearest(orbit.NewGeodeticDeg(0, 0, 0))
+	if g != nil {
+		t.Error("empty deployment returned a gateway")
+	}
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the column order of the CSV codec.
+var csvHeader = []string{
+	"at", "kind", "station", "site", "constellation", "sat", "norad",
+	"freq_mhz", "rssi_dbm", "snr_db", "elev_deg", "az_deg", "range_km",
+	"sat_alt_km", "doppler_hz", "payload_bytes", "weather", "seq_id",
+}
+
+// WriteCSV streams the dataset as CSV with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for i, r := range d.Records {
+		row[0] = r.At.UTC().Format(time.RFC3339Nano)
+		row[1] = strconv.Itoa(int(r.Kind))
+		row[2] = r.Station
+		row[3] = r.Site
+		row[4] = r.Constellation
+		row[5] = r.SatName
+		row[6] = strconv.Itoa(r.NoradID)
+		row[7] = formatFloat(r.FreqMHz)
+		row[8] = formatFloat(r.RSSIDBm)
+		row[9] = formatFloat(r.SNRDB)
+		row[10] = formatFloat(r.ElevationDeg)
+		row[11] = formatFloat(r.AzimuthDeg)
+		row[12] = formatFloat(r.RangeKm)
+		row[13] = formatFloat(r.SatAltKm)
+		row[14] = formatFloat(r.DopplerHz)
+		row[15] = strconv.Itoa(r.PayloadBytes)
+		row[16] = r.Weather
+		row[17] = strconv.FormatUint(r.SeqID, 10)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: header column %d = %q, want %q", i, header[i], want)
+		}
+	}
+	d := &Dataset{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		d.Records = append(d.Records, rec)
+	}
+}
+
+func parseRow(row []string) (Record, error) {
+	var r Record
+	at, err := time.Parse(time.RFC3339Nano, row[0])
+	if err != nil {
+		return r, fmt.Errorf("bad timestamp %q: %w", row[0], err)
+	}
+	r.At = at
+	kind, err := strconv.Atoi(row[1])
+	if err != nil {
+		return r, fmt.Errorf("bad kind: %w", err)
+	}
+	r.Kind = Kind(kind)
+	r.Station = row[2]
+	r.Site = row[3]
+	r.Constellation = row[4]
+	r.SatName = row[5]
+	if r.NoradID, err = strconv.Atoi(row[6]); err != nil {
+		return r, fmt.Errorf("bad norad: %w", err)
+	}
+	floats := []*float64{
+		&r.FreqMHz, &r.RSSIDBm, &r.SNRDB, &r.ElevationDeg, &r.AzimuthDeg,
+		&r.RangeKm, &r.SatAltKm, &r.DopplerHz,
+	}
+	for i, dst := range floats {
+		v, err := strconv.ParseFloat(row[7+i], 64)
+		if err != nil {
+			return r, fmt.Errorf("bad float column %d: %w", 7+i, err)
+		}
+		*dst = v
+	}
+	if r.PayloadBytes, err = strconv.Atoi(row[15]); err != nil {
+		return r, fmt.Errorf("bad payload: %w", err)
+	}
+	r.Weather = row[16]
+	if r.SeqID, err = strconv.ParseUint(row[17], 10, 64); err != nil {
+		return r, fmt.Errorf("bad seq: %w", err)
+	}
+	return r, nil
+}
+
+// WriteJSON streams the dataset as a JSON array.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d.Records)
+}
+
+// ReadJSON parses a dataset previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d.Records); err != nil {
+		return nil, fmt.Errorf("trace: decode json: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,168 @@
+// Package trace defines the packet-trace records SINet's measurement
+// campaigns produce — the synthetic equivalent of the paper's 121,744
+// TinyGS packet traces — together with a dataset container and CSV/JSON
+// codecs for persisting and reloading campaigns.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind labels what a trace record captured.
+type Kind int
+
+// Trace kinds.
+const (
+	// KindBeacon is a satellite beacon received by a ground station.
+	KindBeacon Kind = iota
+	// KindUplink is an IoT node data packet received by a satellite.
+	KindUplink
+	// KindAck is a satellite ACK received by an IoT node.
+	KindAck
+	// KindDelivery is a packet delivered to the subscriber server.
+	KindDelivery
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindBeacon:
+		return "beacon"
+	case KindUplink:
+		return "uplink"
+	case KindAck:
+		return "ack"
+	case KindDelivery:
+		return "delivery"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Record is one received packet with its radio metadata — the fields §2.2
+// lists as extractable from TinyGS beacons: timestamps, RSSI, SNR, and
+// sender satellite metadata (altitude, elevation angle, Doppler shift).
+type Record struct {
+	At            time.Time
+	Kind          Kind
+	Station       string // receiving ground station (or node) ID
+	Site          string // site/city code, e.g. "HK"
+	Constellation string // e.g. "Tianqi"
+	SatName       string // satellite name
+	NoradID       int
+	FreqMHz       float64
+	RSSIDBm       float64
+	SNRDB         float64
+	ElevationDeg  float64
+	AzimuthDeg    float64
+	RangeKm       float64 // slant range (DtS communication distance)
+	SatAltKm      float64
+	DopplerHz     float64
+	PayloadBytes  int
+	Weather       string
+	SeqID         uint64 // application sequence number (active campaign)
+}
+
+// Dataset is an append-only collection of trace records with the query
+// helpers the analyses need.
+type Dataset struct {
+	Records []Record
+}
+
+// Add appends a record.
+func (d *Dataset) Add(r Record) { d.Records = append(d.Records, r) }
+
+// Len returns the record count.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// SortByTime orders records chronologically (stable).
+func (d *Dataset) SortByTime() {
+	sort.SliceStable(d.Records, func(i, j int) bool {
+		return d.Records[i].At.Before(d.Records[j].At)
+	})
+}
+
+// Filter returns a new Dataset with the records matching keep.
+func (d *Dataset) Filter(keep func(Record) bool) *Dataset {
+	out := &Dataset{}
+	for _, r := range d.Records {
+		if keep(r) {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
+// ByConstellation returns the records of one constellation.
+func (d *Dataset) ByConstellation(name string) *Dataset {
+	return d.Filter(func(r Record) bool { return r.Constellation == name })
+}
+
+// BySite returns the records of one site code.
+func (d *Dataset) BySite(site string) *Dataset {
+	return d.Filter(func(r Record) bool { return r.Site == site })
+}
+
+// ByKind returns the records of one kind.
+func (d *Dataset) ByKind(k Kind) *Dataset {
+	return d.Filter(func(r Record) bool { return r.Kind == k })
+}
+
+// CountBySite returns record counts grouped by site code — Table 1's
+// "# Traces" column.
+func (d *Dataset) CountBySite() map[string]int {
+	counts := make(map[string]int)
+	for _, r := range d.Records {
+		counts[r.Site]++
+	}
+	return counts
+}
+
+// CountByConstellation returns record counts grouped by constellation —
+// Table 3's "# Traces" column.
+func (d *Dataset) CountByConstellation() map[string]int {
+	counts := make(map[string]int)
+	for _, r := range d.Records {
+		counts[r.Constellation]++
+	}
+	return counts
+}
+
+// Values extracts a float column from every record.
+func (d *Dataset) Values(f func(Record) float64) []float64 {
+	out := make([]float64, 0, len(d.Records))
+	for _, r := range d.Records {
+		out = append(out, f(r))
+	}
+	return out
+}
+
+// RSSIs returns all RSSI values.
+func (d *Dataset) RSSIs() []float64 {
+	return d.Values(func(r Record) float64 { return r.RSSIDBm })
+}
+
+// Ranges returns all slant ranges.
+func (d *Dataset) Ranges() []float64 {
+	return d.Values(func(r Record) float64 { return r.RangeKm })
+}
+
+// TimeSpan returns the first and last record times (zero times when empty).
+func (d *Dataset) TimeSpan() (first, last time.Time) {
+	for i, r := range d.Records {
+		if i == 0 || r.At.Before(first) {
+			first = r.At
+		}
+		if i == 0 || r.At.After(last) {
+			last = r.At
+		}
+	}
+	return first, last
+}
+
+// Merge appends all records from other.
+func (d *Dataset) Merge(other *Dataset) {
+	d.Records = append(d.Records, other.Records...)
+}

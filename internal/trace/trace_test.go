@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sample(n int) *Dataset {
+	d := &Dataset{}
+	base := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	sites := []string{"HK", "SYD", "LDN", "PGH"}
+	consts := []string{"Tianqi", "FOSSA", "PICO", "CSTP"}
+	for i := 0; i < n; i++ {
+		d.Add(Record{
+			At:            base.Add(time.Duration(n-i) * time.Minute), // reverse order
+			Kind:          KindBeacon,
+			Station:       "gs-01",
+			Site:          sites[i%len(sites)],
+			Constellation: consts[i%len(consts)],
+			SatName:       "SAT-1",
+			NoradID:       91000 + i%5,
+			FreqMHz:       400.45,
+			RSSIDBm:       -120 - float64(i%20),
+			SNRDB:         -5 - float64(i%10),
+			ElevationDeg:  float64(i % 90),
+			AzimuthDeg:    float64(i % 360),
+			RangeKm:       600 + float64(i*13%2900),
+			SatAltKm:      860,
+			DopplerHz:     float64(i%200) - 100,
+			PayloadBytes:  20,
+			Weather:       "sunny",
+			SeqID:         uint64(i),
+		})
+	}
+	return d
+}
+
+func TestKindString(t *testing.T) {
+	if KindBeacon.String() != "beacon" || KindUplink.String() != "uplink" ||
+		KindAck.String() != "ack" || KindDelivery.String() != "delivery" {
+		t.Error("kind labels wrong")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Error("unknown kind label")
+	}
+}
+
+func TestDatasetQueries(t *testing.T) {
+	d := sample(40)
+	if d.Len() != 40 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	hk := d.BySite("HK")
+	if hk.Len() != 10 {
+		t.Errorf("HK count = %d, want 10", hk.Len())
+	}
+	tq := d.ByConstellation("Tianqi")
+	if tq.Len() != 10 {
+		t.Errorf("Tianqi count = %d, want 10", tq.Len())
+	}
+	if d.ByKind(KindBeacon).Len() != 40 {
+		t.Error("ByKind(KindBeacon) incomplete")
+	}
+	if d.ByKind(KindAck).Len() != 0 {
+		t.Error("ByKind(KindAck) nonempty")
+	}
+
+	bySite := d.CountBySite()
+	total := 0
+	for _, c := range bySite {
+		total += c
+	}
+	if total != 40 || len(bySite) != 4 {
+		t.Errorf("CountBySite = %v", bySite)
+	}
+	byConst := d.CountByConstellation()
+	if byConst["FOSSA"] != 10 {
+		t.Errorf("CountByConstellation = %v", byConst)
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	d := sample(10)
+	d.SortByTime()
+	for i := 1; i < d.Len(); i++ {
+		if d.Records[i].At.Before(d.Records[i-1].At) {
+			t.Fatal("not sorted")
+		}
+	}
+	first, last := d.TimeSpan()
+	if !first.Equal(d.Records[0].At) || !last.Equal(d.Records[d.Len()-1].At) {
+		t.Error("TimeSpan mismatch after sort")
+	}
+}
+
+func TestTimeSpanEmpty(t *testing.T) {
+	d := &Dataset{}
+	first, last := d.TimeSpan()
+	if !first.IsZero() || !last.IsZero() {
+		t.Error("empty dataset TimeSpan not zero")
+	}
+}
+
+func TestValuesExtraction(t *testing.T) {
+	d := sample(5)
+	rssis := d.RSSIs()
+	if len(rssis) != 5 {
+		t.Fatalf("len = %d", len(rssis))
+	}
+	for i, v := range rssis {
+		if v != d.Records[i].RSSIDBm {
+			t.Fatal("RSSI extraction order broken")
+		}
+	}
+	if len(d.Ranges()) != 5 {
+		t.Error("Ranges length")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := sample(3), sample(4)
+	a.Merge(b)
+	if a.Len() != 7 {
+		t.Errorf("merged len = %d", a.Len())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample(25)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip len %d != %d", back.Len(), d.Len())
+	}
+	for i := range d.Records {
+		want, got := d.Records[i], back.Records[i]
+		if !want.At.Equal(got.At) {
+			t.Fatalf("record %d time drift", i)
+		}
+		want.At = got.At // normalize monotonic clock/locale for equality
+		if want != got {
+			t.Fatalf("record %d mismatch:\nwant %+v\ngot  %+v", i, want, got)
+		}
+	}
+}
+
+func TestCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("nope,nope\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCSVRejectsMalformedRows(t *testing.T) {
+	d := sample(1)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	lines := strings.SplitN(good, "\n", 2)
+	bad := lines[0] + "\n" + strings.Replace(lines[1], "2024", "not-a-time", 1)
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("malformed timestamp accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := sample(10)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round trip len %d", back.Len())
+	}
+	for i := range d.Records {
+		if !back.Records[i].At.Equal(d.Records[i].At) ||
+			math.Abs(back.Records[i].RSSIDBm-d.Records[i].RSSIDBm) > 1e-12 ||
+			back.Records[i].SeqID != d.Records[i].SeqID {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package sinet_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	sinet "github.com/sinet-io/sinet"
+)
+
+var epoch = time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFacadeOrbitPath(t *testing.T) {
+	// The full public path: TLE → propagator → pass prediction.
+	tq := sinet.Tianqi(epoch)
+	card := tq.Sats[0].TLE().Format()
+	tle, err := sinet.ParseTLE(card)
+	if err != nil {
+		t.Fatalf("ParseTLE on generated card: %v", err)
+	}
+	prop, err := sinet.NewPropagatorFromTLE(tle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := sinet.NewPassPredictor(prop)
+	hk := sinet.LatLon(22.3, 114.2, 0)
+	passes := pp.Passes(hk, epoch, epoch.Add(24*time.Hour), 0)
+	if len(passes) == 0 {
+		t.Fatal("no passes from the public API")
+	}
+	if passes[0].Duration() <= 0 {
+		t.Error("non-positive pass duration")
+	}
+}
+
+func TestFacadeConstellations(t *testing.T) {
+	all := sinet.AllConstellations(epoch)
+	if len(all) != 4 {
+		t.Fatalf("constellations = %d", len(all))
+	}
+	if all[0].Size() != 22 || all[1].Size() != 3 || all[2].Size() != 9 || all[3].Size() != 5 {
+		t.Error("fleet sizes deviate from Table 3")
+	}
+	if sinet.TianqiSubset(epoch, 12).Size() != 12 {
+		t.Error("subset size")
+	}
+	if sinet.FootprintKm2(500, 0) <= 0 {
+		t.Error("footprint")
+	}
+}
+
+func TestFacadePassiveCampaign(t *testing.T) {
+	hk, ok := sinet.SiteByCode("HK")
+	if !ok {
+		t.Fatal("HK missing")
+	}
+	res, err := sinet.RunPassive(sinet.PassiveConfig{
+		Seed:           1,
+		Start:          epoch,
+		Days:           1,
+		Sites:          []sinet.Site{hk},
+		Constellations: []sinet.Constellation{sinet.FOSSA(epoch)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contacts) == 0 {
+		t.Fatal("no contacts via facade")
+	}
+	sh := res.Shrinkage("FOSSA", "HK")
+	if sh.Contacts == 0 {
+		t.Error("no covered contacts")
+	}
+}
+
+func TestFacadeActiveAndEnergy(t *testing.T) {
+	sat, err := sinet.RunActive(sinet.ActiveConfig{
+		Seed: 1, Start: epoch, Days: 1, Policy: sinet.DefaultRetxPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terr, err := sinet.RunTerrestrial(sinet.TerrestrialConfig{Seed: 1, Start: epoch, Days: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := sinet.CompareEnergy(sat, terr, sinet.DefaultBattery())
+	if ec.PowerRatio <= 1 {
+		t.Errorf("power ratio %v", ec.PowerRatio)
+	}
+	if sat.Reliability() <= 0 || terr.Reliability() <= 0 {
+		t.Error("zero reliability via facade")
+	}
+}
+
+func TestFacadeCost(t *testing.T) {
+	sat := sinet.PaperAgricultureSatellite()
+	terr := sinet.PaperAgricultureTerrestrial()
+	if sat.MonthlyPerNode() <= terr.MonthlyPerNode() {
+		t.Error("cost model shape wrong via facade")
+	}
+}
+
+func TestFacadeDatasetRoundTrip(t *testing.T) {
+	d := &sinet.Dataset{}
+	d.Add(sinet.TraceRecord{At: epoch, Site: "HK", Constellation: "Tianqi", RSSIDBm: -128})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sinet.ReadTracesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 1 || back.Records[0].Site != "HK" {
+		t.Error("CSV round trip via facade failed")
+	}
+}
+
+func TestFacadeExperimentRunner(t *testing.T) {
+	var out strings.Builder
+	r := sinet.NewExperimentRunner(sinet.QuickScale(), &out)
+	if _, err := r.Table2(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 2") {
+		t.Error("runner output missing")
+	}
+	if sinet.Version == "" {
+		t.Error("version empty")
+	}
+}
+
+func TestFacadeWeatherAndAntennas(t *testing.T) {
+	if sinet.Sunny.String() != "sunny" || sinet.Stormy.String() != "stormy" {
+		t.Error("weather aliases broken")
+	}
+	if sinet.FiveEighthsWave.GainDB <= sinet.QuarterWave.GainDB {
+		t.Error("antenna aliases broken")
+	}
+	if sinet.NoRetxPolicy().MaxAttempts() != 1 {
+		t.Error("policy aliases broken")
+	}
+	_ = sinet.ConstantWeather{State: sinet.Rainy}
+	if sinet.YunnanPlantation().LatDeg() < 20 || sinet.YunnanPlantation().LatDeg() > 25 {
+		t.Error("Yunnan location implausible")
+	}
+	if len(sinet.PaperSites()) != 8 {
+		t.Error("paper sites")
+	}
+}
