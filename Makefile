@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs one iteration of the pass-prediction benches as a
+# compile-and-run check; real measurements use `go test -bench . -benchtime 5s`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkPassPrediction(Serial|Parallel)$$' -benchtime 1x .
+
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(MAKE) bench-smoke

@@ -14,6 +14,7 @@ import (
 	"github.com/sinet-io/sinet/internal/groundstation"
 	"github.com/sinet-io/sinet/internal/mac"
 	"github.com/sinet-io/sinet/internal/orbit"
+	"github.com/sinet-io/sinet/internal/sim"
 )
 
 // newRunner builds a fresh quick-scale experiment runner.
@@ -371,6 +372,84 @@ func BenchmarkPassPrediction(b *testing.B) {
 		if passes := pp.Passes(site, start, start.Add(24*time.Hour), 0); len(passes) == 0 {
 			b.Fatal("no passes")
 		}
+	}
+}
+
+// benchSites are the four continent deployment sites, the campaign shape
+// whose pass prediction the serial/parallel benches compare.
+func benchSites() []sinet.Geodetic {
+	return []sinet.Geodetic{
+		sinet.LatLon(22.3, 114.2, 0),   // Hong Kong
+		sinet.LatLon(-33.87, 151.2, 0), // Sydney
+		sinet.LatLon(51.5, -0.1, 0),    // London
+		sinet.LatLon(40.44, -79.99, 0), // Pittsburgh
+	}
+}
+
+// BenchmarkPassPredictionSerial is the seed pipeline's shape: one
+// propagator per satellite, re-propagated once per (site × step).
+func BenchmarkPassPredictionSerial(b *testing.B) {
+	start := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	cons := sinet.Tianqi(start)
+	sites := benchSites()
+	end := start.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orbit.ResetSGP4Calls()
+		total := 0
+		for _, els := range cons.Sats {
+			prop, err := sinet.NewPropagator(els)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pp := sinet.NewPassPredictor(prop)
+			for _, site := range sites {
+				total += len(pp.Passes(site, start, end, 0))
+			}
+		}
+		if total == 0 {
+			b.Fatal("no passes")
+		}
+		b.ReportMetric(float64(total), "passes")
+		b.ReportMetric(float64(orbit.SGP4Calls()), "sgp4-calls")
+	}
+}
+
+// BenchmarkPassPredictionParallel is the optimized shape: one shared
+// ephemeris per satellite (built concurrently), sites fanned across
+// workers reading the shared samples.
+func BenchmarkPassPredictionParallel(b *testing.B) {
+	start := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	cons := sinet.Tianqi(start)
+	sites := benchSites()
+	end := start.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orbit.ResetSGP4Calls()
+		ephs := make([]*sinet.Ephemeris, len(cons.Sats))
+		sim.ForEach(len(cons.Sats), func(si int) {
+			prop, err := sinet.NewPropagator(cons.Sats[si])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			ephs[si] = sinet.NewEphemeris(prop, start, end, 30*time.Second)
+		})
+		counts := make([]int, len(sites))
+		sim.ForEach(len(sites), func(gi int) {
+			for _, eph := range ephs {
+				counts[gi] += len(sinet.NewEphemerisPredictor(eph).Passes(sites[gi], start, end, 0))
+			}
+		})
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			b.Fatal("no passes")
+		}
+		b.ReportMetric(float64(total), "passes")
+		b.ReportMetric(float64(orbit.SGP4Calls()), "sgp4-calls")
 	}
 }
 

@@ -54,17 +54,24 @@ func TianqiGroundSegment() GroundSegment {
 
 // NextDownlink returns the first time at or after `after` when the
 // satellite rises above the segment's mask over any station, searching up
-// to `horizon`. ok=false when no opportunity exists in the horizon.
+// to `horizon`. ok=false when no opportunity exists in the horizon. The
+// per-station pass searches are independent, so they fan out across
+// workers (each on its own propagator clone) and merge by scanning the
+// station-indexed slots in order, which keeps the result deterministic.
 func (g GroundSegment) NextDownlink(prop *orbit.Propagator, after, horizon time.Time) (time.Time, bool) {
-	pp := orbit.NewPassPredictor(prop)
+	firsts := make([]time.Time, len(g.Stations))
+	sim.ForEach(len(g.Stations), func(i int) {
+		pp := orbit.NewPassPredictor(prop.Clone())
+		if passes := pp.Passes(g.Stations[i], after, horizon, g.MinElevationRad); len(passes) > 0 {
+			firsts[i] = passes[0].AOS
+		}
+	})
 	best := time.Time{}
 	found := false
-	for _, st := range g.Stations {
-		passes := pp.Passes(st, after, horizon, g.MinElevationRad)
-		if len(passes) == 0 {
+	for _, t := range firsts {
+		if t.IsZero() {
 			continue
 		}
-		t := passes[0].AOS
 		if !found || t.Before(best) {
 			best = t
 			found = true
@@ -79,7 +86,11 @@ func (g GroundSegment) NextDownlink(prop *orbit.Propagator, after, horizon time.
 // prediction: one propagation per step instead of one per station). A
 // window is a span where the ground distance to the nearest station is
 // below the mask-limited horizon distance for the satellite's altitude.
-func (g GroundSegment) DownlinkWindows(prop *orbit.Propagator, start, end time.Time, step time.Duration) []orbit.Window {
+//
+// src may be a raw propagator or a shared Ephemeris; the stepping visits
+// only instants of the form start + k·step, so an aligned ephemeris serves
+// the whole sweep from its samples.
+func (g GroundSegment) DownlinkWindows(src orbit.StateSource, start, end time.Time, step time.Duration) []orbit.Window {
 	if !end.After(start) || len(g.Stations) == 0 {
 		return nil
 	}
@@ -91,9 +102,10 @@ func (g GroundSegment) DownlinkWindows(prop *orbit.Propagator, start, end time.T
 	var winStart time.Time
 	prev := start
 	for t := start; t.Before(end); t = t.Add(step) {
-		sub, err := prop.Subpoint(t)
+		rECEF, _, err := src.PositionECEF(t)
 		in := false
 		if err == nil {
+			sub := orbit.GeodeticFromECEF(rECEF)
 			maxGround := g.maxGroundDistanceKm(sub.Alt)
 			for _, st := range g.Stations {
 				if orbit.HaversineKm(sub, st) <= maxGround {

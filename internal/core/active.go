@@ -290,12 +290,27 @@ func RunActive(cfg ActiveConfig) (*ActiveResult, error) {
 	segment := backhaul.TianqiGroundSegment()
 	r.beaconPayload = cons.BeaconPayloadBytes
 	r.drainDuration = segment.DrainDuration
-	for _, p := range props {
-		gw := satellite.NewGateway(p, cons.BeaconInterval, cfg.SatBufferCapacity)
-		r.gateways[gw.NoradID] = gw
 
-		pp := orbit.NewPassPredictor(p)
-		pp.CoarseStep = time.Minute
+	// Per-satellite prediction (passes, beacon times, downlink drains) is
+	// independent, SGP4-dominated work, so it fans out across workers into
+	// index-addressed slots; each worker samples its own ephemeris so the
+	// plantation pass search and the 12-station downlink search share the
+	// same trajectory samples. The engine scheduling below replays the
+	// slots serially in catalog order, so the event queue — and therefore
+	// the whole campaign — is identical to a serial build.
+	type satPlan struct {
+		gw      *satellite.Gateway
+		beacons [][]time.Time
+		wake    []orbit.Window
+		drains  []time.Time
+	}
+	plans := make([]satPlan, len(props))
+	sim.ForEach(len(props), func(i int) {
+		plan := &plans[i]
+		plan.gw = satellite.NewGateway(props[i].Clone(), cons.BeaconInterval, cfg.SatBufferCapacity)
+
+		eph := orbit.NewEphemeris(props[i], cfg.Start, end.Add(graceAfterEnd), time.Minute)
+		pp := orbit.NewEphemerisPredictor(eph)
 		passes := pp.Passes(site, cfg.Start, end, 0)
 		if cfg.ScheduleAwareMinElevationRad > 0 {
 			// Schedule-aware sleeping: the node only wakes for passes
@@ -307,10 +322,23 @@ func RunActive(cfg ActiveConfig) (*ActiveResult, error) {
 				}
 			}
 			passes = kept
-			r.wakeWindows = append(r.wakeWindows, orbit.MergeWindows(passes)...)
+			plan.wake = orbit.MergeWindows(passes)
 		}
 		for _, pass := range passes {
-			for _, bt := range gw.BeaconTimes(pass.AOS, pass.LOS) {
+			plan.beacons = append(plan.beacons, plan.gw.BeaconTimes(pass.AOS, pass.LOS))
+		}
+		windows := segment.DownlinkWindows(eph, cfg.Start, end.Add(graceAfterEnd), time.Minute)
+		// Operators book roughly two drain sessions per revolution when
+		// geometry allows; the emergent mean store-and-forward delay is
+		// what Fig. 5d's delivery segment measures.
+		plan.drains = backhaul.ScheduleDrains(windows, 150*time.Minute)
+	})
+	for i := range plans {
+		gw := plans[i].gw
+		r.gateways[gw.NoradID] = gw
+		r.wakeWindows = append(r.wakeWindows, plans[i].wake...)
+		for _, bts := range plans[i].beacons {
+			for _, bt := range bts {
 				bt := bt
 				gwID := gw.NoradID
 				if err := r.engine.Schedule(bt, func(*sim.Engine) { r.onBeacon(gwID, bt) }); err != nil {
@@ -318,14 +346,8 @@ func RunActive(cfg ActiveConfig) (*ActiveResult, error) {
 				}
 			}
 		}
-
-		windows := segment.DownlinkWindows(p, cfg.Start, end.Add(graceAfterEnd), time.Minute)
-		// Operators book roughly two drain sessions per revolution when
-		// geometry allows; the emergent mean store-and-forward delay is
-		// what Fig. 5d's delivery segment measures.
-		drains := backhaul.ScheduleDrains(windows, 150*time.Minute)
-		r.drains[gw.NoradID] = drains
-		for _, dt := range drains {
+		r.drains[gw.NoradID] = plans[i].drains
+		for _, dt := range plans[i].drains {
 			dt := dt
 			gwID := gw.NoradID
 			if err := r.engine.Schedule(dt, func(*sim.Engine) { r.onDrain(gwID, dt) }); err != nil {

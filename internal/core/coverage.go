@@ -6,6 +6,7 @@ import (
 
 	"github.com/sinet-io/sinet/internal/constellation"
 	"github.com/sinet-io/sinet/internal/orbit"
+	"github.com/sinet-io/sinet/internal/sim"
 )
 
 // RevisitStats answers the §3.1 question "can a constellation offer IoT
@@ -38,19 +39,26 @@ func RevisitAnalysis(cons constellation.Constellation, latitudesDeg []float64, s
 		return nil, err
 	}
 	end := start.Add(time.Duration(days) * 24 * time.Hour)
-	out := make([]RevisitStats, 0, len(latitudesDeg))
-	for _, lat := range latitudesDeg {
-		site := orbit.NewGeodeticDeg(lat, 0, 0)
+
+	// Sample each satellite's trajectory once; every latitude's pass
+	// search then reads the shared grid instead of re-propagating.
+	ephs := make([]*orbit.Ephemeris, len(props))
+	sim.ForEach(len(props), func(i int) {
+		ephs[i] = orbit.NewEphemeris(props[i], start, end, time.Minute)
+	})
+
+	out := make([]RevisitStats, len(latitudesDeg))
+	sim.ForEach(len(latitudesDeg), func(li int) {
+		site := orbit.NewGeodeticDeg(latitudesDeg[li], 0, 0)
 		var passes []orbit.Pass
-		for _, p := range props {
-			pp := orbit.NewPassPredictor(p)
-			pp.CoarseStep = time.Minute
+		for _, eph := range ephs {
+			pp := orbit.NewEphemerisPredictor(eph)
 			passes = append(passes, pp.Passes(site, start, end, 0)...)
 		}
 		windows := orbit.MergeWindows(passes)
 		gaps := orbit.Gaps(windows)
 
-		stats := RevisitStats{LatitudeDeg: lat, Passes: len(passes)}
+		stats := RevisitStats{LatitudeDeg: latitudesDeg[li], Passes: len(passes)}
 		if days > 0 {
 			stats.DailyCoverage = orbit.TotalDuration(windows) / time.Duration(days)
 		}
@@ -64,7 +72,7 @@ func RevisitAnalysis(cons constellation.Constellation, latitudesDeg []float64, s
 		if len(gaps) > 0 {
 			stats.MeanGap = sum / time.Duration(len(gaps))
 		}
-		out = append(out, stats)
-	}
+		out[li] = stats
+	})
 	return out, nil
 }

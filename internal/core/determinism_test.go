@@ -1,0 +1,68 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/mac"
+)
+
+// The parallel campaign engine must be bit-identical to a serial run: the
+// named RNG streams isolate every stochastic draw from execution order, and
+// workers merge index-addressed slots in the serial order. These golden
+// tests run the QuickScale campaign shape once with a single worker and
+// once with several, and compare the complete results with DeepEqual (which
+// compares float64 fields bit-for-bit).
+
+func withGOMAXPROCS(n int, f func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+func TestPassiveParallelBitIdenticalToSerial(t *testing.T) {
+	cfg := PassiveConfig{Seed: 42, Start: time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC), Days: 1}
+
+	var serial, parallel *PassiveResult
+	var errS, errP error
+	withGOMAXPROCS(1, func() { serial, errS = RunPassive(cfg) })
+	withGOMAXPROCS(4, func() { parallel, errP = RunPassive(cfg) })
+	if errS != nil || errP != nil {
+		t.Fatal(errS, errP)
+	}
+	if len(serial.Dataset.Records) == 0 {
+		t.Fatal("serial run produced no records — vacuous comparison")
+	}
+	if !reflect.DeepEqual(serial.Contacts, parallel.Contacts) {
+		t.Error("parallel contacts differ from serial run")
+	}
+	if !reflect.DeepEqual(serial.Dataset.Records, parallel.Dataset.Records) {
+		t.Error("parallel dataset differs from serial run")
+	}
+}
+
+func TestActiveParallelBitIdenticalToSerial(t *testing.T) {
+	cfg := ActiveConfig{Seed: 42, Start: time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC), Days: 2, Policy: mac.DefaultRetxPolicy()}
+
+	var serial, parallel *ActiveResult
+	var errS, errP error
+	withGOMAXPROCS(1, func() { serial, errS = RunActive(cfg) })
+	withGOMAXPROCS(4, func() { parallel, errP = RunActive(cfg) })
+	if errS != nil || errP != nil {
+		t.Fatal(errS, errP)
+	}
+	if len(serial.Packets) == 0 {
+		t.Fatal("serial run produced no packets — vacuous comparison")
+	}
+	if !reflect.DeepEqual(serial.Packets, parallel.Packets) {
+		t.Error("parallel packet outcomes differ from serial run")
+	}
+	if !reflect.DeepEqual(serial.MacStats, parallel.MacStats) {
+		t.Error("parallel MAC stats differ from serial run")
+	}
+	if serial.BufferDrops != parallel.BufferDrops {
+		t.Errorf("buffer drops differ: %d vs %d", serial.BufferDrops, parallel.BufferDrops)
+	}
+}

@@ -38,7 +38,9 @@ type PassiveConfig struct {
 	// campaign window begins earlier.
 	HonorSiteStart bool
 	// Weather pins the sky state for controlled experiments; nil uses
-	// each site's stochastic weather process.
+	// each site's stochastic weather process. A non-nil provider is shared
+	// by concurrent site workers and must be safe for concurrent reads
+	// (the built-in providers are: their state is precomputed).
 	Weather WeatherProvider
 }
 
@@ -117,12 +119,25 @@ type PassiveResult struct {
 }
 
 // RunPassive executes the campaign and returns its dataset and per-contact
-// statistics. The work is deterministic for a given config.
+// statistics. The work is deterministic for a given config: the
+// (site × constellation) pairs run on a worker pool, but every stochastic
+// draw comes from a named per-site/per-link RNG stream and each worker
+// writes into an index-addressed slot that is merged in the serial order,
+// so the output is bit-identical to a single-worker run.
 func RunPassive(cfg PassiveConfig) (*PassiveResult, error) {
 	cfg.setDefaults()
 	res := &PassiveResult{Config: cfg, Dataset: &trace.Dataset{}}
 	end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
 
+	// Per-site context: stations and one weather realization shared by
+	// every constellation (and worker) at the site.
+	type siteCtx struct {
+		site     Site
+		start    time.Time
+		stations []groundstation.Station
+		weather  WeatherProvider
+	}
+	var siteCtxs []siteCtx
 	for _, site := range cfg.Sites {
 		start := cfg.Start
 		if cfg.HonorSiteStart && site.StartMonth.After(start) {
@@ -131,42 +146,99 @@ func RunPassive(cfg PassiveConfig) (*PassiveResult, error) {
 		if !end.After(start) {
 			continue
 		}
-		var weather WeatherProvider
-		if cfg.Weather != nil {
-			weather = cfg.Weather
-		} else {
+		weather := cfg.Weather
+		if weather == nil {
 			weather = NewWeatherProcess(sim.NewRNG(cfg.Seed, "weather/"+site.Code), site, start, cfg.Days)
 		}
-		stations := site.BuildStations()
+		siteCtxs = append(siteCtxs, siteCtx{site: site, start: start, stations: site.BuildStations(), weather: weather})
+	}
 
-		for _, cons := range cfg.Constellations {
-			if err := runPassiveSiteConstellation(cfg, res, site, stations, cons, weather, start, end); err != nil {
-				return nil, err
-			}
+	// One ephemeris per satellite, shared by every site: the satellite
+	// state at a timestep is site-independent, so sampling it once turns
+	// O(sats × sites × steps) propagations into O(sats × steps). Grids
+	// anchor at cfg.Start; a site whose scan starts a whole number of
+	// steps later (the Table 1 month boundaries always do) still hits the
+	// samples, and any misaligned query falls back to exact SGP4.
+	consCtxs := make([]consCtx, len(cfg.Constellations))
+	for ci, cons := range cfg.Constellations {
+		props, err := cons.Propagators()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
 		}
+		consCtxs[ci] = consCtx{cons: cons, props: props, ephs: make([]*orbit.Ephemeris, len(props))}
+	}
+	type satRef struct{ ci, si int }
+	var sats []satRef
+	for ci := range consCtxs {
+		for si := range consCtxs[ci].props {
+			sats = append(sats, satRef{ci, si})
+		}
+	}
+	sim.ForEach(len(sats), func(i int) {
+		ref := sats[i]
+		cc := &consCtxs[ref.ci]
+		cc.ephs[ref.si] = orbit.NewEphemeris(cc.props[ref.si], cfg.Start, end, cfg.CoarseStep)
+	})
+
+	// Fan the (site × constellation) pairs across workers.
+	type pairRef struct {
+		s *siteCtx
+		c *consCtx
+	}
+	var pairs []pairRef
+	for si := range siteCtxs {
+		for ci := range consCtxs {
+			pairs = append(pairs, pairRef{&siteCtxs[si], &consCtxs[ci]})
+		}
+	}
+	units := make([]*passiveUnit, len(pairs))
+	sim.ForEach(len(pairs), func(i int) {
+		p := pairs[i]
+		units[i] = runPassiveSiteConstellation(cfg, p.s.site, p.s.stations, p.c, p.s.weather, p.s.start, end)
+	})
+	for _, u := range units {
+		res.Contacts = append(res.Contacts, u.contacts...)
+		res.Dataset.Records = append(res.Dataset.Records, u.records...)
 	}
 	res.Dataset.SortByTime()
 	return res, nil
 }
 
-// runPassiveSiteConstellation simulates one (site, constellation) pair.
-func runPassiveSiteConstellation(cfg PassiveConfig, res *PassiveResult, site Site, stations []groundstation.Station, cons constellation.Constellation, weather WeatherProvider, start, end time.Time) error {
-	props, err := cons.Propagators()
-	if err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
+// consCtx bundles one constellation with its shared propagators and
+// per-satellite ephemerides, built once per campaign and read by every
+// (site, constellation) worker.
+type consCtx struct {
+	cons  constellation.Constellation
+	props []*orbit.Propagator
+	ephs  []*orbit.Ephemeris
+}
 
-	// Predict all passes of the constellation over the site.
+// passiveUnit is the output of one (site, constellation) worker, merged
+// into the campaign result in serial order.
+type passiveUnit struct {
+	contacts []ContactStat
+	records  []trace.Record
+}
+
+// runPassiveSiteConstellation simulates one (site, constellation) pair. It
+// reads the shared ephemerides and clones the shared propagators, so
+// concurrent invocations never share mutable state.
+func runPassiveSiteConstellation(cfg PassiveConfig, site Site, stations []groundstation.Station, cc *consCtx, weather WeatherProvider, start, end time.Time) *passiveUnit {
+	cons := cc.cons
+
+	// Predict all passes of the constellation over the site from the
+	// shared ephemerides.
 	var passes []orbit.Pass
-	gateways := make(map[int]*satellite.Gateway, len(props))
-	for _, p := range props {
-		pp := orbit.NewPassPredictor(p)
+	gateways := make(map[int]*satellite.Gateway, len(cc.props))
+	for i, p := range cc.props {
+		pp := orbit.NewEphemerisPredictor(cc.ephs[i])
 		pp.CoarseStep = cfg.CoarseStep
 		passes = append(passes, pp.Passes(site.Location, start, end, cfg.MinElevationRad)...)
-		gateways[p.Elements().NoradID] = satellite.NewGateway(p, cons.BeaconInterval, 0)
+		gateways[p.Elements().NoradID] = satellite.NewGateway(p.Clone(), cons.BeaconInterval, 0)
 	}
 
 	plan := cfg.Scheduler.Plan(stations, passes, start, end)
+	planIdx := groundstation.NewPlanIndex(plan)
 
 	// Station-side receive chains: one channel realization per station.
 	links := make(map[string]*radio.Link, len(stations))
@@ -178,6 +250,7 @@ func runPassiveSiteConstellation(cfg PassiveConfig, res *PassiveResult, site Sit
 		stationByID[st.ID] = st
 	}
 
+	unit := &passiveUnit{}
 	for _, pass := range passes {
 		gw := gateways[pass.NoradID]
 		stat := ContactStat{
@@ -190,17 +263,12 @@ func runPassiveSiteConstellation(cfg PassiveConfig, res *PassiveResult, site Sit
 		}
 		for _, bt := range gw.BeaconTimes(pass.AOS, pass.LOS) {
 			// Which station is tuned to this satellite now?
-			var covering *groundstation.Station
-			for i := range plan {
-				if plan[i].Covers(pass.NoradID, bt) {
-					st := stationByID[plan[i].StationID]
-					covering = &st
-					break
-				}
-			}
-			if covering == nil {
+			a, ok := planIdx.Covering(pass.NoradID, bt)
+			if !ok {
 				continue
 			}
+			st := stationByID[a.StationID]
+			covering := &st
 			stat.Covered = true
 			stat.BeaconsSent++
 
@@ -232,7 +300,7 @@ func runPassiveSiteConstellation(cfg PassiveConfig, res *PassiveResult, site Sit
 			}
 
 			alt, _ := gw.AltitudeAt(bt)
-			res.Dataset.Add(trace.Record{
+			unit.records = append(unit.records, trace.Record{
 				At:            bt,
 				Kind:          trace.KindBeacon,
 				Station:       covering.ID,
@@ -252,7 +320,7 @@ func runPassiveSiteConstellation(cfg PassiveConfig, res *PassiveResult, site Sit
 				Weather:       w.String(),
 			})
 		}
-		res.Contacts = append(res.Contacts, stat)
+		unit.contacts = append(unit.contacts, stat)
 	}
-	return nil
+	return unit
 }

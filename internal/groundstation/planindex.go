@@ -1,0 +1,73 @@
+package groundstation
+
+import (
+	"sort"
+	"time"
+)
+
+// PlanIndex answers "which assignment covers satellite s at time t" in
+// O(log n + overlap) instead of the O(plan) linear scan the beacon loop used
+// to run per beacon. When several assignments of one satellite overlap at t
+// (the round-robin policy schedules a satellite on multiple stations),
+// Covering returns the one that appears earliest in the original plan —
+// exactly the winner the linear scan picked.
+type PlanIndex struct {
+	bySat map[int][]planEntry
+}
+
+// planEntry is one assignment with its original plan position and the
+// running maximum End over all entries up to and including it (in Start
+// order), which lets the stabbing query stop early.
+type planEntry struct {
+	a      Assignment
+	order  int
+	maxEnd time.Time
+}
+
+// NewPlanIndex indexes a schedule plan by satellite and start time.
+func NewPlanIndex(plan []Assignment) *PlanIndex {
+	ix := &PlanIndex{bySat: make(map[int][]planEntry)}
+	for i, a := range plan {
+		ix.bySat[a.NoradID] = append(ix.bySat[a.NoradID], planEntry{a: a, order: i})
+	}
+	for _, entries := range ix.bySat {
+		sort.SliceStable(entries, func(i, j int) bool {
+			if !entries[i].a.Start.Equal(entries[j].a.Start) {
+				return entries[i].a.Start.Before(entries[j].a.Start)
+			}
+			return entries[i].order < entries[j].order
+		})
+		var maxEnd time.Time
+		for i := range entries {
+			if entries[i].a.End.After(maxEnd) {
+				maxEnd = entries[i].a.End
+			}
+			entries[i].maxEnd = maxEnd
+		}
+	}
+	return ix
+}
+
+// Covering returns the assignment covering (noradID, t) — Start ≤ t < End —
+// preferring the earliest-planned assignment when several overlap.
+func (ix *PlanIndex) Covering(noradID int, t time.Time) (Assignment, bool) {
+	entries := ix.bySat[noradID]
+	// First entry starting after t; candidates lie strictly before it.
+	idx := sort.Search(len(entries), func(i int) bool { return entries[i].a.Start.After(t) })
+	best := -1
+	bestOrder := 0
+	for j := idx - 1; j >= 0; j-- {
+		// No entry at or before j ends after t: nothing earlier can cover.
+		if !entries[j].maxEnd.After(t) {
+			break
+		}
+		if entries[j].a.Covers(noradID, t) && (best == -1 || entries[j].order < bestOrder) {
+			best = j
+			bestOrder = entries[j].order
+		}
+	}
+	if best == -1 {
+		return Assignment{}, false
+	}
+	return entries[best].a, true
+}

@@ -1,0 +1,70 @@
+package groundstation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// linearCovering is the O(plan) scan PlanIndex replaces: first assignment
+// in plan order covering (noradID, t) wins.
+func linearCovering(plan []Assignment, noradID int, t time.Time) (Assignment, bool) {
+	for i := range plan {
+		if plan[i].Covers(noradID, t) {
+			return plan[i], true
+		}
+	}
+	return Assignment{}, false
+}
+
+func TestPlanIndexMatchesLinearScan(t *testing.T) {
+	t0 := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(7))
+
+	// A deliberately overlapping plan: several stations tuned to the same
+	// satellite at once (the round-robin policy produces exactly this),
+	// interleaved out of time order to exercise the plan-order tie-break.
+	var plan []Assignment
+	for i := 0; i < 200; i++ {
+		sat := 91000 + rng.Intn(6)
+		start := t0.Add(time.Duration(rng.Intn(24*60)) * time.Minute)
+		plan = append(plan, Assignment{
+			StationID: fmt.Sprintf("st-%d", i%5),
+			NoradID:   sat,
+			Start:     start,
+			End:       start.Add(time.Duration(1+rng.Intn(30)) * time.Minute),
+		})
+	}
+	ix := NewPlanIndex(plan)
+
+	for q := 0; q < 5000; q++ {
+		sat := 91000 + rng.Intn(7) // includes a satellite not in the plan
+		at := t0.Add(time.Duration(rng.Intn(25*60*60)) * time.Second)
+		want, wantOK := linearCovering(plan, sat, at)
+		got, gotOK := ix.Covering(sat, at)
+		if wantOK != gotOK || got != want {
+			t.Fatalf("query (%d, %v): index returned %+v/%v, linear scan %+v/%v",
+				sat, at, got, gotOK, want, wantOK)
+		}
+	}
+}
+
+func TestPlanIndexBoundaries(t *testing.T) {
+	t0 := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	a := Assignment{StationID: "st-1", NoradID: 1, Start: t0, End: t0.Add(10 * time.Minute)}
+	ix := NewPlanIndex([]Assignment{a})
+
+	if _, ok := ix.Covering(1, t0.Add(-time.Nanosecond)); ok {
+		t.Error("covered before Start")
+	}
+	if got, ok := ix.Covering(1, t0); !ok || got != a {
+		t.Error("not covered at Start (inclusive)")
+	}
+	if _, ok := ix.Covering(1, a.End); ok {
+		t.Error("covered at End (exclusive)")
+	}
+	if _, ok := ix.Covering(2, t0); ok {
+		t.Error("covered for unknown satellite")
+	}
+}

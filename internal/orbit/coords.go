@@ -169,11 +169,35 @@ func (l LookAngles) ElevationDeg() float64 { return l.Elevation * rad2Deg }
 // Look computes look angles from an observer to a satellite whose position
 // and velocity are given in ECEF km / km/s.
 func Look(observer Geodetic, rSatECEF, vSatECEF Vec3) LookAngles {
-	rObs := observer.ECEF()
-	rho := rSatECEF.Sub(rObs)
+	return newObserverFrame(observer).look(rSatECEF, vSatECEF)
+}
 
-	sinLat, cosLat := math.Sin(observer.Lat), math.Cos(observer.Lat)
-	sinLon, cosLon := math.Sin(observer.Lon), math.Cos(observer.Lon)
+// observerFrame caches the site-dependent terms of Look — the observer's
+// ECEF position and the SEZ rotation sines/cosines — so repeated queries
+// against one site skip recomputing them. look produces bit-identical
+// results to Look because the per-query arithmetic is unchanged.
+type observerFrame struct {
+	rObs                           Vec3
+	sinLat, cosLat, sinLon, cosLon float64
+}
+
+func newObserverFrame(observer Geodetic) observerFrame {
+	return observerFrame{
+		rObs:   observer.ECEF(),
+		sinLat: math.Sin(observer.Lat),
+		cosLat: math.Cos(observer.Lat),
+		sinLon: math.Sin(observer.Lon),
+		cosLon: math.Cos(observer.Lon),
+	}
+}
+
+// look computes look angles from the cached observer frame to a satellite
+// whose position and velocity are given in ECEF km / km/s.
+func (f observerFrame) look(rSatECEF, vSatECEF Vec3) LookAngles {
+	rho := rSatECEF.Sub(f.rObs)
+
+	sinLat, cosLat := f.sinLat, f.cosLat
+	sinLon, cosLon := f.sinLon, f.cosLon
 
 	// Rotate the range vector into the local SEZ (south-east-zenith) frame.
 	south := sinLat*cosLon*rho.X + sinLat*sinLon*rho.Y - cosLat*rho.Z

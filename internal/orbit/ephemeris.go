@@ -1,0 +1,108 @@
+package orbit
+
+import "time"
+
+// StateSource supplies satellite ECEF state for pass prediction. Both the
+// raw SGP4 Propagator and the precomputed Ephemeris implement it, so a
+// PassPredictor can run against either exact propagation or shared samples.
+type StateSource interface {
+	// PositionECEF returns the satellite's ECEF position (km) and velocity
+	// (km/s) at t.
+	PositionECEF(t time.Time) (r, v Vec3, err error)
+	// Elements returns the element set the source propagates.
+	Elements() Elements
+}
+
+// Ephemeris is a precomputed, immutable sampling of one satellite's ECEF
+// trajectory on a fixed time grid. The satellite state at a timestep is
+// site-independent, so one Ephemeris serves pass searches for every ground
+// site in a campaign: coarse-scan queries that land on the grid are answered
+// from the shared samples, and every other instant (AOS/LOS bisection,
+// per-beacon geometry) falls back to exact SGP4 on an internal clone. This
+// turns campaign-wide pass prediction from O(sats × sites × steps)
+// propagations into O(sats × steps), with zero accuracy loss: grid samples
+// are produced by the very same PositionECEF code path they replace, and
+// off-grid queries never touch the cache.
+//
+// An Ephemeris is safe for concurrent use by multiple goroutines once
+// constructed: the sample slices are never written after NewEphemeris
+// returns, and the internal propagator is only used through its read-only
+// propagation path.
+type Ephemeris struct {
+	els   Elements
+	prop  *Propagator
+	start time.Time
+	step  time.Duration
+	pos   []Vec3
+	vel   []Vec3
+	errs  []error
+}
+
+// NewEphemeris samples prop's ECEF state on the grid start + k·step covering
+// [start, end] plus one step of padding (pass scans probe one step past
+// their window end). A non-positive step defaults to the PassPredictor's
+// 30 s coarse step.
+func NewEphemeris(prop *Propagator, start, end time.Time, step time.Duration) *Ephemeris {
+	if step <= 0 {
+		step = 30 * time.Second
+	}
+	n := 2
+	if end.After(start) {
+		n = int(end.Sub(start)/step) + 3
+	}
+	e := &Ephemeris{
+		els:   prop.Elements(),
+		prop:  prop.Clone(),
+		start: start,
+		step:  step,
+		pos:   make([]Vec3, n),
+		vel:   make([]Vec3, n),
+		errs:  make([]error, n),
+	}
+	for i := 0; i < n; i++ {
+		t := start.Add(time.Duration(i) * step)
+		e.pos[i], e.vel[i], e.errs[i] = e.prop.PositionECEF(t)
+	}
+	return e
+}
+
+// Elements returns the element set the ephemeris was sampled from.
+func (e *Ephemeris) Elements() Elements { return e.els }
+
+// Step returns the sampling grid step.
+func (e *Ephemeris) Step() time.Duration { return e.step }
+
+// Span returns the first and last sampled instants.
+func (e *Ephemeris) Span() (start, end time.Time) {
+	return e.start, e.start.Add(time.Duration(len(e.pos)-1) * e.step)
+}
+
+// PositionECEF implements StateSource. Queries on the sampling grid are
+// served from the shared samples; any other instant is answered by exact
+// SGP4 propagation, so callers never observe interpolation error.
+func (e *Ephemeris) PositionECEF(t time.Time) (Vec3, Vec3, error) {
+	if d := t.Sub(e.start); d >= 0 && d%e.step == 0 {
+		if i := int(d / e.step); i < len(e.pos) {
+			return e.pos[i], e.vel[i], e.errs[i]
+		}
+	}
+	return e.prop.PositionECEF(t)
+}
+
+// Look returns the look angles from site to the satellite at t.
+func (e *Ephemeris) Look(site Geodetic, t time.Time) (LookAngles, error) {
+	r, v, err := e.PositionECEF(t)
+	if err != nil {
+		return LookAngles{}, err
+	}
+	return Look(site, r, v), nil
+}
+
+// NewEphemerisPredictor builds a PassPredictor whose coarse scan runs on the
+// ephemeris sampling grid, so every coarse-step elevation query is a cache
+// hit when the search start lies on the grid.
+func NewEphemerisPredictor(e *Ephemeris) *PassPredictor {
+	pp := NewPassPredictorFrom(e)
+	pp.CoarseStep = e.step
+	return pp
+}

@@ -1,0 +1,149 @@
+package orbit
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEphemerisMatchesPropagatorBitExact(t *testing.T) {
+	p, err := NewPropagator(leoElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := leoElements().Epoch
+	step := 30 * time.Second
+	eph := NewEphemeris(p, start, start.Add(2*time.Hour), step)
+
+	// On-grid queries come from the cache; off-grid queries fall back to
+	// exact SGP4. Both must be bit-identical to direct propagation.
+	offsets := []time.Duration{
+		0, step, 17 * step, 240 * step,
+		13 * time.Second, 31*time.Minute + 7*time.Millisecond,
+	}
+	for _, off := range offsets {
+		at := start.Add(off)
+		r1, v1, err1 := p.PositionECEF(at)
+		r2, v2, err2 := eph.PositionECEF(at)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("offset %v: error mismatch %v vs %v", off, err1, err2)
+		}
+		if r1 != r2 || v1 != v2 {
+			t.Errorf("offset %v: state differs: %v/%v vs %v/%v", off, r1, v1, r2, v2)
+		}
+	}
+	// Before the grid start the cache cannot answer; it must still agree.
+	at := start.Add(-time.Minute)
+	r1, _, _ := p.PositionECEF(at)
+	r2, _, _ := eph.PositionECEF(at)
+	if r1 != r2 {
+		t.Errorf("pre-span query differs: %v vs %v", r1, r2)
+	}
+}
+
+func TestEphemerisPredictorPassesBitIdentical(t *testing.T) {
+	p, err := NewPropagator(leoElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := leoElements().Epoch
+	end := start.Add(24 * time.Hour)
+	site := NewGeodeticDeg(22.3, 114.2, 0)
+
+	direct := NewPassPredictor(p).Passes(site, start, end, 0)
+	eph := NewEphemeris(p, start, end, 30*time.Second)
+	cached := NewEphemerisPredictor(eph).Passes(site, start, end, 0)
+	if !reflect.DeepEqual(direct, cached) {
+		t.Fatalf("cached passes differ from direct passes:\n%v\nvs\n%v", cached, direct)
+	}
+}
+
+func TestEphemerisCutsPropagationsToSatsTimesSteps(t *testing.T) {
+	p, err := NewPropagator(leoElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := leoElements().Epoch
+	end := start.Add(24 * time.Hour)
+	step := 30 * time.Second
+	steps := int64(end.Sub(start) / step)
+	sites := []Geodetic{
+		NewGeodeticDeg(22.3, 114.2, 0),
+		NewGeodeticDeg(-33.87, 151.2, 0),
+		NewGeodeticDeg(51.5, -0.1, 0),
+		NewGeodeticDeg(40.44, -79.99, 0),
+		NewGeodeticDeg(0, 0, 0),
+		NewGeodeticDeg(25.04, 102.72, 1.9),
+	}
+
+	ResetSGP4Calls()
+	for _, site := range sites {
+		NewPassPredictor(p).Passes(site, start, end, 0)
+	}
+	serial := SGP4Calls()
+
+	ResetSGP4Calls()
+	eph := NewEphemeris(p, start, end, step)
+	build := SGP4Calls()
+	for _, site := range sites {
+		NewEphemerisPredictor(eph).Passes(site, start, end, 0)
+	}
+	shared := SGP4Calls()
+
+	if build < steps || build > steps+8 {
+		t.Errorf("ephemeris build used %d propagations, want ~%d (one per step)", build, steps)
+	}
+	// With the shared cache the per-site marginal cost is AOS/LOS
+	// refinement only — far below one propagation per coarse step.
+	marginal := (shared - build) / int64(len(sites))
+	if marginal > steps/4 {
+		t.Errorf("per-site marginal propagations %d, want ≪ %d coarse steps", marginal, steps)
+	}
+	// And the whole O(sats×steps + sites×refine) total must clearly beat
+	// the O(sats×sites×steps) serial count.
+	if shared*2 > serial {
+		t.Errorf("shared total %d not at least 2× below serial total %d", shared, serial)
+	}
+}
+
+func TestConcurrentEphemerisAndCloneUse(t *testing.T) {
+	// Regression for the goroutine-safety contract: one shared Ephemeris
+	// plus per-goroutine Propagator clones must be race-free (run under
+	// -race) and return identical results on every goroutine.
+	p, err := NewPropagator(leoElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := leoElements().Epoch
+	end := start.Add(6 * time.Hour)
+	eph := NewEphemeris(p, start, end, 30*time.Second)
+	site := NewGeodeticDeg(22.3, 114.2, 0)
+
+	const workers = 8
+	passes := make([][]Pass, workers)
+	states := make([]Vec3, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			passes[w] = NewEphemerisPredictor(eph).Passes(site, start, end, 0)
+			r, _, err := p.Clone().PositionECEF(start.Add(90 * time.Minute))
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			states[w] = r
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if !reflect.DeepEqual(passes[0], passes[w]) {
+			t.Errorf("worker %d saw different passes", w)
+		}
+		if states[0] != states[w] {
+			t.Errorf("worker %d clone state differs: %v vs %v", w, states[w], states[0])
+		}
+	}
+}

@@ -37,7 +37,7 @@ func (p Pass) String() string {
 
 // PassPredictor finds contact windows for one satellite over ground sites.
 type PassPredictor struct {
-	prop *Propagator
+	src StateSource
 
 	// CoarseStep is the scan step used to bracket horizon crossings.
 	// The default of 30 s cannot skip a LEO pass, whose above-horizon
@@ -50,31 +50,47 @@ type PassPredictor struct {
 
 // NewPassPredictor wraps an SGP4 propagator with pass-search defaults.
 func NewPassPredictor(p *Propagator) *PassPredictor {
-	return &PassPredictor{prop: p, CoarseStep: 30 * time.Second, Refine: 500 * time.Millisecond}
+	return NewPassPredictorFrom(p)
 }
 
-// elevationAt returns the elevation of the satellite above the site at t.
+// NewPassPredictorFrom wraps any state source — a raw propagator or a shared
+// Ephemeris — with pass-search defaults.
+func NewPassPredictorFrom(src StateSource) *PassPredictor {
+	return &PassPredictor{src: src, CoarseStep: 30 * time.Second, Refine: 500 * time.Millisecond}
+}
+
+// elevationAt returns the elevation of the satellite above the observer at t.
 // Propagation errors surface as a large negative elevation so that a decayed
 // satellite simply stops producing passes.
-func (pp *PassPredictor) elevationAt(site Geodetic, t time.Time) float64 {
-	r, v, err := pp.prop.PositionECEF(t)
+func (pp *PassPredictor) elevationAt(frame observerFrame, t time.Time) float64 {
+	r, v, err := pp.src.PositionECEF(t)
 	if err != nil {
 		return -twoPi
 	}
-	return Look(site, r, v).Elevation
+	return frame.look(r, v).Elevation
+}
+
+// lookAt returns full look angles from the cached observer frame at time t.
+func (pp *PassPredictor) lookAt(frame observerFrame, t time.Time) (LookAngles, error) {
+	r, v, err := pp.src.PositionECEF(t)
+	if err != nil {
+		return LookAngles{}, err
+	}
+	return frame.look(r, v), nil
 }
 
 // LookAt returns full look angles from the site at time t.
 func (pp *PassPredictor) LookAt(site Geodetic, t time.Time) (LookAngles, error) {
-	r, v, err := pp.prop.PositionECEF(t)
-	if err != nil {
-		return LookAngles{}, err
-	}
-	return Look(site, r, v), nil
+	return pp.lookAt(newObserverFrame(site), t)
 }
 
 // Passes returns every contact window with max elevation above minElevation
 // (radians) between start and end, in chronological order.
+//
+// The coarse scan visits only instants of the form start + k·step, so a
+// predictor over an Ephemeris whose grid is aligned with start serves every
+// scan query from the shared samples; only the AOS/LOS bisection and the
+// TCA sampling inside a detected pass evaluate SGP4 off-grid.
 func (pp *PassPredictor) Passes(site Geodetic, start, end time.Time, minElevation float64) []Pass {
 	if !end.After(start) {
 		return nil
@@ -83,31 +99,40 @@ func (pp *PassPredictor) Passes(site Geodetic, start, end time.Time, minElevatio
 	if step <= 0 {
 		step = 30 * time.Second
 	}
+	frame := newObserverFrame(site)
 
 	var passes []Pass
 	prevT := start
-	prevEl := pp.elevationAt(site, prevT)
-	for t := start.Add(step); !t.After(end.Add(step)); t = t.Add(step) {
-		el := pp.elevationAt(site, t)
+	prevEl := pp.elevationAt(frame, prevT)
+	for k := int64(1); ; k++ {
+		t := start.Add(time.Duration(k) * step)
+		if t.After(end.Add(step)) {
+			break
+		}
+		el := pp.elevationAt(frame, t)
 		if prevEl < minElevation && el >= minElevation {
 			// Rising edge bracketed in (prevT, t]: refine AOS, then walk
-			// forward to find LOS.
-			aos := pp.bisect(site, prevT, t, minElevation, true)
-			los, ok := pp.findLOS(site, aos, end, step, minElevation)
+			// forward from the grid point to find LOS.
+			aos := pp.bisect(frame, prevT, t, minElevation, true)
+			los, ok := pp.findLOS(frame, start, k, end, step, minElevation)
 			if !ok {
 				// Pass extends beyond the search window; truncate at end.
 				los = end
 			}
-			if pass, ok := pp.buildPass(site, aos, los, minElevation); ok {
+			if pass, ok := pp.buildPass(frame, aos, los, minElevation); ok {
 				passes = append(passes, pass)
 			}
-			// Resume scanning after this pass, but never move the cursor
-			// backwards: a pass shorter than the scan step can refine to
-			// an LOS at or before t, and jumping back would re-detect the
-			// same rising edge forever.
-			if los.After(t) {
-				t = los
-				el = pp.elevationAt(site, t)
+			// Resume scanning at the first grid point after LOS, but never
+			// move the cursor backwards: a pass shorter than the scan step
+			// can refine to an LOS at or before t, and jumping back would
+			// re-detect the same rising edge forever.
+			if next := int64(los.Sub(start)/step) + 1; next > k {
+				k = next
+				t = start.Add(time.Duration(k) * step)
+				if t.After(end.Add(step)) {
+					break
+				}
+				el = pp.elevationAt(frame, t)
 			}
 		}
 		prevT, prevEl = t, el
@@ -116,30 +141,33 @@ func (pp *PassPredictor) Passes(site Geodetic, start, end time.Time, minElevatio
 	return passes
 }
 
-// findLOS walks forward from AOS until elevation drops below the mask, then
-// bisects the falling edge. Returns ok=false if the satellite is still up at
-// the search end.
-func (pp *PassPredictor) findLOS(site Geodetic, aos, end time.Time, step time.Duration, minEl float64) (time.Time, bool) {
-	prevT := aos
-	for t := aos.Add(step); !t.After(end); t = t.Add(step) {
-		if pp.elevationAt(site, t) < minEl {
-			return pp.bisect(site, prevT, t, minEl, false), true
+// findLOS walks grid points forward from the rising-edge step fromK until
+// elevation drops below the mask, then bisects the falling edge. Returns
+// ok=false if the satellite is still up at the search end.
+func (pp *PassPredictor) findLOS(frame observerFrame, start time.Time, fromK int64, end time.Time, step time.Duration, minEl float64) (time.Time, bool) {
+	prevT := start.Add(time.Duration(fromK) * step)
+	for k := fromK + 1; ; k++ {
+		t := start.Add(time.Duration(k) * step)
+		if t.After(end) {
+			return end, false
+		}
+		if pp.elevationAt(frame, t) < minEl {
+			return pp.bisect(frame, prevT, t, minEl, false), true
 		}
 		prevT = t
 	}
-	return end, false
 }
 
 // bisect refines a horizon crossing bracketed by [lo, hi]. rising selects
 // the crossing direction.
-func (pp *PassPredictor) bisect(site Geodetic, lo, hi time.Time, minEl float64, rising bool) time.Time {
+func (pp *PassPredictor) bisect(frame observerFrame, lo, hi time.Time, minEl float64, rising bool) time.Time {
 	tol := pp.Refine
 	if tol <= 0 {
 		tol = time.Second
 	}
 	for hi.Sub(lo) > tol {
 		mid := lo.Add(hi.Sub(lo) / 2)
-		above := pp.elevationAt(site, mid) >= minEl
+		above := pp.elevationAt(frame, mid) >= minEl
 		if above == rising {
 			// For a rising edge, "above" means the crossing is earlier.
 			hi = mid
@@ -151,11 +179,13 @@ func (pp *PassPredictor) bisect(site Geodetic, lo, hi time.Time, minEl float64, 
 }
 
 // buildPass fills in TCA, azimuths and peak stats by sampling the window.
-func (pp *PassPredictor) buildPass(site Geodetic, aos, los time.Time, minEl float64) (Pass, bool) {
+// The AOS/LOS look angles double as the first and last samples of the TCA
+// scan, so the window endpoints are evaluated exactly once.
+func (pp *PassPredictor) buildPass(frame observerFrame, aos, los time.Time, minEl float64) (Pass, bool) {
 	if !los.After(aos) {
 		return Pass{}, false
 	}
-	els := pp.prop.Elements()
+	els := pp.src.Elements()
 	pass := Pass{
 		NoradID:      els.NoradID,
 		Name:         els.Name,
@@ -164,11 +194,13 @@ func (pp *PassPredictor) buildPass(site Geodetic, aos, los time.Time, minEl floa
 		MaxElevation: -twoPi,
 		MinRangeKm:   1e12,
 	}
-	if la, err := pp.LookAt(site, aos); err == nil {
-		pass.AOSAzimuth = la.Azimuth
+	laAOS, errAOS := pp.lookAt(frame, aos)
+	laLOS, errLOS := pp.lookAt(frame, los)
+	if errAOS == nil {
+		pass.AOSAzimuth = laAOS.Azimuth
 	}
-	if la, err := pp.LookAt(site, los); err == nil {
-		pass.LOSAzimuth = la.Azimuth
+	if errLOS == nil {
+		pass.LOSAzimuth = laLOS.Azimuth
 	}
 	// Sample 64 points across the window for TCA; LEO elevation profiles
 	// are unimodal, so dense sampling is accurate to dur/64 which is
@@ -176,14 +208,22 @@ func (pp *PassPredictor) buildPass(site Geodetic, aos, los time.Time, minEl floa
 	const samples = 64
 	dur := los.Sub(aos)
 	for i := 0; i <= samples; i++ {
-		t := aos.Add(dur * time.Duration(i) / samples)
-		la, err := pp.LookAt(site, t)
+		var la LookAngles
+		var err error
+		switch i {
+		case 0:
+			la, err = laAOS, errAOS
+		case samples:
+			la, err = laLOS, errLOS
+		default:
+			la, err = pp.lookAt(frame, aos.Add(dur*time.Duration(i)/samples))
+		}
 		if err != nil {
 			continue
 		}
 		if la.Elevation > pass.MaxElevation {
 			pass.MaxElevation = la.Elevation
-			pass.TCA = t
+			pass.TCA = aos.Add(dur * time.Duration(i) / samples)
 		}
 		if la.RangeKm < pass.MinRangeKm {
 			pass.MinRangeKm = la.RangeKm

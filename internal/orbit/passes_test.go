@@ -166,6 +166,63 @@ func TestMergeWindows(t *testing.T) {
 	}
 }
 
+func TestMergeWindowsEdgeCases(t *testing.T) {
+	t0 := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(startMin, endMin int) Pass {
+		return Pass{AOS: t0.Add(time.Duration(startMin) * time.Minute), LOS: t0.Add(time.Duration(endMin) * time.Minute)}
+	}
+
+	t.Run("fully nested", func(t *testing.T) {
+		merged := MergeWindows([]Pass{mk(0, 100), mk(10, 20), mk(40, 90)})
+		if len(merged) != 1 {
+			t.Fatalf("got %d windows, want 1", len(merged))
+		}
+		if merged[0].Start != t0 || merged[0].Duration() != 100*time.Minute {
+			t.Errorf("nested windows did not collapse into the outer span: %+v", merged[0])
+		}
+	})
+
+	t.Run("identical AOS", func(t *testing.T) {
+		merged := MergeWindows([]Pass{mk(0, 5), mk(0, 12), mk(0, 3)})
+		if len(merged) != 1 {
+			t.Fatalf("got %d windows, want 1", len(merged))
+		}
+		if merged[0].Duration() != 12*time.Minute {
+			t.Errorf("same-start windows merged to %v, want the longest (12m)", merged[0].Duration())
+		}
+	})
+
+	t.Run("zero-length windows", func(t *testing.T) {
+		// A zero-length window inside or touching a real window vanishes
+		// into it; an isolated one survives with zero duration and still
+		// bounds gaps on both sides.
+		merged := MergeWindows([]Pass{mk(0, 10), mk(5, 5), mk(10, 10), mk(50, 50)})
+		if len(merged) != 2 {
+			t.Fatalf("got %d windows, want 2: %v", len(merged), merged)
+		}
+		if merged[0].Duration() != 10*time.Minute || merged[1].Duration() != 0 {
+			t.Errorf("durations %v / %v, want 10m / 0", merged[0].Duration(), merged[1].Duration())
+		}
+		if TotalDuration(merged) != 10*time.Minute {
+			t.Errorf("total %v, want 10m", TotalDuration(merged))
+		}
+		gaps := Gaps(merged)
+		if len(gaps) != 1 || gaps[0] != 40*time.Minute {
+			t.Errorf("gaps = %v, want [40m]", gaps)
+		}
+	})
+
+	t.Run("all zero-length", func(t *testing.T) {
+		merged := MergeWindows([]Pass{mk(5, 5), mk(5, 5)})
+		if len(merged) != 1 || merged[0].Duration() != 0 {
+			t.Fatalf("duplicate zero-length windows: %v", merged)
+		}
+		if got := Gaps(merged); got != nil {
+			t.Errorf("single window yielded gaps %v", got)
+		}
+	})
+}
+
 func TestMergeWindowsEmpty(t *testing.T) {
 	if MergeWindows(nil) != nil {
 		t.Error("MergeWindows(nil) != nil")

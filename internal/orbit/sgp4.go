@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,7 +31,14 @@ var (
 )
 
 // Propagator is an initialized SGP4 near-earth propagator for one element
-// set. It is safe for concurrent use: propagation does not mutate state.
+// set.
+//
+// A Propagator is NOT guaranteed goroutine-safe: callers must not share one
+// instance across goroutines and should hand each worker its own Clone
+// (cheap — initialization is not redone). The propagation methods are
+// currently read-only, an invariant this package relies on internally (see
+// Ephemeris) and guards with a -race regression test, but external callers
+// must not depend on it: the type reserves the right to memoize.
 type Propagator struct {
 	els Elements
 
@@ -186,6 +194,26 @@ func NewPropagatorFromTLE(t TLE) (*Propagator, error) {
 // Elements returns the element set the propagator was built from.
 func (p *Propagator) Elements() Elements { return p.els }
 
+// Clone returns an independent copy of the propagator. All initialization
+// coefficients are plain values, so a shallow copy yields a propagator that
+// shares no mutable state with the receiver; use one Clone per goroutine.
+func (p *Propagator) Clone() *Propagator {
+	cp := *p
+	return &cp
+}
+
+// sgp4Calls counts SGP4 propagations process-wide. The campaign-complexity
+// tests use it to assert the ephemeris cache turns pass prediction from
+// O(sats × sites × steps) propagations into O(sats × steps).
+var sgp4Calls atomic.Int64
+
+// SGP4Calls returns the number of SGP4 propagations performed since the last
+// ResetSGP4Calls (or process start).
+func SGP4Calls() int64 { return sgp4Calls.Load() }
+
+// ResetSGP4Calls zeroes the propagation counter.
+func ResetSGP4Calls() { sgp4Calls.Store(0) }
+
 // State is the propagated position/velocity in the TEME frame.
 type State struct {
 	Position Vec3 // km, TEME
@@ -195,6 +223,7 @@ type State struct {
 // PropagateMinutes advances the orbit tsince minutes past the element epoch
 // and returns the TEME state.
 func (p *Propagator) PropagateMinutes(tsince float64) (State, error) {
+	sgp4Calls.Add(1)
 	var s State
 
 	// Secular gravity and atmospheric drag.

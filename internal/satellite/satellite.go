@@ -68,6 +68,10 @@ func (b *Buffer) Flush() []StoredPacket {
 }
 
 // Gateway is one satellite acting as an IoT gateway.
+//
+// A Gateway owns its propagator and buffer and is not goroutine-safe;
+// campaign workers that build gateways concurrently must hand each one its
+// own Propagator.Clone().
 type Gateway struct {
 	NoradID int
 	Name    string

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across up to GOMAXPROCS
+// goroutines, returning once all calls complete. Indices are handed out by
+// an atomic counter, so work-stealing balances uneven jobs.
+//
+// Determinism is the caller's contract: fn must write its result into an
+// index-addressed slot (results[i] = ...) and the caller merges the slots in
+// a fixed order afterwards. Execution order across indices is unspecified;
+// with GOMAXPROCS=1 (or n ≤ 1) fn runs inline in index order.
+func ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible jobs. Every index runs regardless of
+// other indices' failures; the lowest-index error is returned so the
+// reported failure does not depend on goroutine scheduling.
+func ForEachErr(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		visits := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&visits[i], 1) })
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachMoreWorkersThanJobs(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-proc environment")
+	}
+	var count int32
+	ForEach(1, func(i int) { atomic.AddInt32(&count, 1) })
+	if count != 1 {
+		t.Fatalf("ran %d times, want 1", count)
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForEachErr(10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 7:
+			return errA
+		}
+		return nil
+	})
+	if err != errB {
+		t.Fatalf("got %v, want the lowest-index error %v", err, errB)
+	}
+	if err := ForEachErr(5, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}

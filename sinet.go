@@ -53,6 +53,13 @@ type Propagator = orbit.Propagator
 // PassPredictor finds contact windows over ground sites.
 type PassPredictor = orbit.PassPredictor
 
+// Ephemeris is a precomputed satellite trajectory on a fixed time grid,
+// shared by pass searches over many sites.
+type Ephemeris = orbit.Ephemeris
+
+// StateSource supplies satellite ECEF state — a Propagator or Ephemeris.
+type StateSource = orbit.StateSource
+
 // Pass is one satellite contact window.
 type Pass = orbit.Pass
 
@@ -74,6 +81,19 @@ func NewPropagatorFromTLE(t TLE) (*Propagator, error) { return orbit.NewPropagat
 
 // NewPassPredictor wraps a propagator for pass searching.
 func NewPassPredictor(p *Propagator) *PassPredictor { return orbit.NewPassPredictor(p) }
+
+// NewEphemeris samples p's trajectory on the grid start + k·step covering
+// [start, end]; build it once per satellite and share it across sites and
+// goroutines.
+func NewEphemeris(p *Propagator, start, end time.Time, step time.Duration) *Ephemeris {
+	return orbit.NewEphemeris(p, start, end, step)
+}
+
+// NewEphemerisPredictor wraps a shared ephemeris for pass searching on its
+// sampling grid.
+func NewEphemerisPredictor(e *Ephemeris) *PassPredictor {
+	return orbit.NewEphemerisPredictor(e)
+}
 
 // LatLon builds a Geodetic from degrees and altitude km.
 func LatLon(latDeg, lonDeg, altKm float64) Geodetic {
