@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke ci
+.PHONY: all build test race bench-smoke fuzz-smoke staticcheck govulncheck ci
 
 all: build
 
@@ -18,8 +18,28 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkPassPrediction(Serial|Parallel)$$' -benchtime 1x .
 
+# fuzz-smoke briefly exercises each fuzz target; the committed corpora under
+# testdata/fuzz/ already run as regression cases in plain `make test`.
+fuzz-smoke:
+	$(GO) test ./internal/orbit/ -run '^$$' -fuzz FuzzParseTLE -fuzztime 10s
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzReadCSV -fuzztime 10s
+
+# staticcheck / govulncheck run only when installed, so `make ci` stays usable
+# in hermetic environments; the GitHub workflow installs both.
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 \
+		&& staticcheck ./... \
+		|| echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+
+govulncheck:
+	@command -v govulncheck >/dev/null 2>&1 \
+		&& govulncheck ./... \
+		|| echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
+
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) staticcheck
+	$(MAKE) govulncheck
 	$(MAKE) bench-smoke

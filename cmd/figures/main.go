@@ -26,12 +26,23 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	scaleName := flag.String("scale", "standard", "experiment scale: quick, standard or paper")
-	seed := flag.Int64("seed", 42, "master random seed")
-	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
-	outPath := flag.String("o", "", "write the report to a file instead of stdout")
-	flag.Parse()
+// run parses the arguments and executes the requested experiments. It is
+// the single exit path: every failure returns an error instead of exiting
+// mid-flight (and leaving a half-written report file unclosed).
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	scaleName := fs.String("scale", "standard", "experiment scale: quick, standard or paper")
+	seed := fs.Int64("seed", 42, "master random seed")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	outPath := fs.String("o", "", "write the report to a file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var scale sinet.ExperimentScale
 	switch *scaleName {
@@ -42,7 +53,7 @@ func main() {
 	case "paper":
 		scale = sinet.PaperScale()
 	default:
-		log.Fatalf("unknown scale %q", *scaleName)
+		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
 	scale.Seed = *seed
 
@@ -50,13 +61,9 @@ func main() {
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			log.Fatalf("create %s: %v", *outPath, err)
+			return fmt.Errorf("create %s: %w", *outPath, err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatalf("close %s: %v", *outPath, err)
-			}
-		}()
+		defer f.Close()
 		out = f
 	}
 
@@ -67,16 +74,22 @@ func main() {
 	start := time.Now()
 	if *only == "" {
 		if err := r.RunAll(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	} else {
 		for _, id := range strings.Split(*only, ",") {
 			if err := runOne(r, strings.TrimSpace(id)); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 	}
 	fmt.Fprintf(out, "\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	if f, ok := out.(*os.File); ok && f != os.Stdout {
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", *outPath, err)
+		}
+	}
+	return nil
 }
 
 // runOne dispatches a single experiment by its paper ID.

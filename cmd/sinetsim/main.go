@@ -6,11 +6,13 @@
 //
 //	sinetsim [-days 7] [-seed 42] [-sites HK,SYD] [-constellations Tianqi,PICO]
 //	         [-scheduler tracking|roundrobin] [-csv traces.csv] [-json traces.json]
+//	         [-station-mtbf 72h -station-mttr 6h]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -18,21 +20,44 @@ import (
 
 	sinet "github.com/sinet-io/sinet"
 	"github.com/sinet-io/sinet/internal/groundstation"
+	"github.com/sinet-io/sinet/internal/report"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sinetsim: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	days := flag.Int("days", 7, "campaign length, days")
-	seed := flag.Int64("seed", 42, "master random seed")
-	sitesArg := flag.String("sites", "", "comma-separated site codes (default: all 8)")
-	consArg := flag.String("constellations", "", "comma-separated constellation names (default: all 4)")
-	schedArg := flag.String("scheduler", "tracking", "station scheduler: tracking (customized) or roundrobin (vanilla TinyGS)")
-	csvPath := flag.String("csv", "", "write the trace dataset as CSV")
-	jsonPath := flag.String("json", "", "write the trace dataset as JSON")
-	honorStart := flag.Bool("honor-start", false, "delay sites to their Table 1 start months")
-	flag.Parse()
+// run parses the arguments, executes the campaign and renders the summary
+// to stdout. It is the single exit path: every failure returns an error
+// instead of exiting mid-flight.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sinetsim", flag.ContinueOnError)
+	days := fs.Int("days", 7, "campaign length, days")
+	seed := fs.Int64("seed", 42, "master random seed")
+	sitesArg := fs.String("sites", "", "comma-separated site codes (default: all 8)")
+	consArg := fs.String("constellations", "", "comma-separated constellation names (default: all 4)")
+	schedArg := fs.String("scheduler", "tracking", "station scheduler: tracking (customized) or roundrobin (vanilla TinyGS)")
+	csvPath := fs.String("csv", "", "write the trace dataset as CSV")
+	jsonPath := fs.String("json", "", "write the trace dataset as JSON")
+	honorStart := fs.Bool("honor-start", false, "delay sites to their Table 1 start months")
+	stationMTBF := fs.Duration("station-mtbf", 0, "inject station churn: mean up-time between failures (requires -station-mttr)")
+	stationMTTR := fs.Duration("station-mttr", 0, "inject station churn: mean down-time per failure (requires -station-mtbf)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *days <= 0 {
+		return fmt.Errorf("-days must be positive, got %d", *days)
+	}
+	if (*stationMTBF > 0) != (*stationMTTR > 0) {
+		return fmt.Errorf("-station-mtbf and -station-mttr must be set together")
+	}
+	if *stationMTBF < 0 || *stationMTTR < 0 {
+		return fmt.Errorf("-station-mtbf/-station-mttr must be non-negative")
+	}
 
 	start := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
 	cfg := sinet.PassiveConfig{
@@ -41,6 +66,9 @@ func main() {
 		Days:           *days,
 		HonorSiteStart: *honorStart,
 	}
+	if *stationMTBF > 0 {
+		cfg.Faults = &sinet.FaultConfig{StationMTBF: *stationMTBF, StationMTTR: *stationMTTR}
+	}
 
 	if *sitesArg == "" {
 		cfg.Sites = sinet.PaperSites()
@@ -48,7 +76,7 @@ func main() {
 		for _, code := range strings.Split(*sitesArg, ",") {
 			s, ok := sinet.SiteByCode(strings.ToUpper(strings.TrimSpace(code)))
 			if !ok {
-				log.Fatalf("unknown site %q", code)
+				return fmt.Errorf("unknown site %q", code)
 			}
 			cfg.Sites = append(cfg.Sites, s)
 		}
@@ -68,7 +96,7 @@ func main() {
 				}
 			}
 			if !found {
-				log.Fatalf("unknown constellation %q", name)
+				return fmt.Errorf("unknown constellation %q", name)
 			}
 		}
 	}
@@ -85,54 +113,71 @@ func main() {
 		}
 		cfg.Scheduler = groundstation.RoundRobinScheduler{Catalog: catalog, Slot: 10 * time.Minute}
 	default:
-		log.Fatalf("unknown scheduler %q", *schedArg)
+		return fmt.Errorf("unknown scheduler %q", *schedArg)
 	}
 
-	fmt.Printf("running %d-day campaign: %d sites, %d constellations, scheduler=%s\n",
+	fmt.Fprintf(stdout, "running %d-day campaign: %d sites, %d constellations, scheduler=%s\n",
 		*days, len(cfg.Sites), len(cfg.Constellations), *schedArg)
 	t0 := time.Now()
 	res, err := sinet.RunPassive(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("completed in %v: %d trace records, %d contact windows\n\n",
+	fmt.Fprintf(stdout, "completed in %v: %d trace records, %d contact windows\n\n",
 		time.Since(t0).Round(time.Millisecond), res.Dataset.Len(), len(res.Contacts))
 
-	fmt.Printf("%-6s %10s\n", "SITE", "TRACES")
+	fmt.Fprintf(stdout, "%-6s %10s\n", "SITE", "TRACES")
 	for _, sc := range res.SiteTraceCounts() {
-		fmt.Printf("%-6s %10d\n", sc.Site.Code, sc.Traces)
+		fmt.Fprintf(stdout, "%-6s %10d\n", sc.Site.Code, sc.Traces)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for name, n := range res.Dataset.CountByConstellation() {
-		fmt.Printf("%-8s %8d traces", name, n)
+		fmt.Fprintf(stdout, "%-8s %8d traces", name, n)
 		sh := res.Shrinkage(name, "")
 		if sh.Contacts > 0 {
-			fmt.Printf("  window shrink %.1f%% over %d contacts", sh.ShrinkFraction*100, sh.Contacts)
+			fmt.Fprintf(stdout, "  window shrink %.1f%% over %d contacts", sh.ShrinkFraction*100, sh.Contacts)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
+	}
+
+	if len(res.Availability) > 0 {
+		rows := make([]report.ChurnRow, len(res.Availability))
+		for i, a := range res.Availability {
+			rows[i] = report.ChurnRow{Station: a.Station, Site: a.Site, Uptime: a.Uptime, Outages: a.Outages, Downtime: a.Downtime}
+		}
+		if err := report.ChurnSummary(stdout, rows); err != nil {
+			return err
+		}
 	}
 
 	if *csvPath != "" {
-		writeDataset(*csvPath, func(f *os.File) error { return res.Dataset.WriteCSV(f) })
-		fmt.Printf("\nwrote CSV dataset to %s\n", *csvPath)
+		if err := writeDataset(*csvPath, func(f *os.File) error { return res.Dataset.WriteCSV(f) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nwrote CSV dataset to %s\n", *csvPath)
 	}
 	if *jsonPath != "" {
-		writeDataset(*jsonPath, func(f *os.File) error { return res.Dataset.WriteJSON(f) })
-		fmt.Printf("wrote JSON dataset to %s\n", *jsonPath)
+		if err := writeDataset(*jsonPath, func(f *os.File) error { return res.Dataset.WriteJSON(f) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote JSON dataset to %s\n", *jsonPath)
 	}
+	return nil
 }
 
-// writeDataset creates the file and runs the encoder, failing fatally on
-// any error so partial datasets are never mistaken for complete ones.
-func writeDataset(path string, write func(*os.File) error) {
+// writeDataset creates the file and runs the encoder, reporting any error
+// so partial datasets are never mistaken for complete ones.
+func writeDataset(path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		log.Fatalf("create %s: %v", path, err)
+		return fmt.Errorf("create %s: %w", path, err)
 	}
 	if err := write(f); err != nil {
-		log.Fatalf("write %s: %v", path, err)
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatalf("close %s: %v", path, err)
+		return fmt.Errorf("close %s: %w", path, err)
 	}
+	return nil
 }

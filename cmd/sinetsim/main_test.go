@@ -1,0 +1,54 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero days", []string{"-days", "0"}, "-days must be positive"},
+		{"negative days", []string{"-days", "-3"}, "-days must be positive"},
+		{"mtbf without mttr", []string{"-station-mtbf", "48h"}, "must be set together"},
+		{"mttr without mtbf", []string{"-station-mttr", "6h"}, "must be set together"},
+		{"unknown site", []string{"-sites", "ATLANTIS"}, "unknown site"},
+		{"unknown constellation", []string{"-constellations", "Starlink9000"}, "unknown constellation"},
+		{"unknown scheduler", []string{"-scheduler", "psychic"}, "unknown scheduler"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, io.Discard)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRunSmallCampaignWithChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a one-day campaign")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-days", "1", "-sites", "HK", "-constellations", "Tianqi",
+		"-station-mtbf", "12h", "-station-mttr", "12h",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Station availability under churn") {
+		t.Fatalf("summary missing the churn section:\n%s", text)
+	}
+	if !strings.Contains(text, "fleet mean availability") {
+		t.Fatalf("summary missing the fleet mean:\n%s", text)
+	}
+}

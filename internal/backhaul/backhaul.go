@@ -58,14 +58,31 @@ func TianqiGroundSegment() GroundSegment {
 // per-station pass searches are independent, so they fan out across
 // workers (each on its own propagator clone) and merge by scanning the
 // station-indexed slots in order, which keeps the result deterministic.
-func (g GroundSegment) NextDownlink(prop *orbit.Propagator, after, horizon time.Time) (time.Time, bool) {
+// A worker failure (a panic in the propagator surfaces as an attributed
+// error) is reported instead of crashing the fan-out.
+func (g GroundSegment) NextDownlink(prop *orbit.Propagator, after, horizon time.Time) (time.Time, bool, error) {
+	return g.NextDownlinkUp(prop, after, horizon, nil)
+}
+
+// NextDownlinkUp is NextDownlink restricted to stations that are up: a
+// pass over station i counts only when up(i, AOS) is true at acquisition.
+// A nil predicate treats every station as always up. This is how fault
+// injection makes a downed drain station invisible to the operator's
+// booking search.
+func (g GroundSegment) NextDownlinkUp(prop *orbit.Propagator, after, horizon time.Time, up func(station int, at time.Time) bool) (time.Time, bool, error) {
 	firsts := make([]time.Time, len(g.Stations))
-	sim.ForEach(len(g.Stations), func(i int) {
+	if err := sim.ForEach(len(g.Stations), func(i int) {
 		pp := orbit.NewPassPredictor(prop.Clone())
-		if passes := pp.Passes(g.Stations[i], after, horizon, g.MinElevationRad); len(passes) > 0 {
-			firsts[i] = passes[0].AOS
+		for _, pass := range pp.Passes(g.Stations[i], after, horizon, g.MinElevationRad) {
+			if up != nil && !up(i, pass.AOS) {
+				continue
+			}
+			firsts[i] = pass.AOS
+			break
 		}
-	})
+	}); err != nil {
+		return time.Time{}, false, err
+	}
 	best := time.Time{}
 	found := false
 	for _, t := range firsts {
@@ -77,7 +94,7 @@ func (g GroundSegment) NextDownlink(prop *orbit.Propagator, after, horizon time.
 			found = true
 		}
 	}
-	return best, found
+	return best, found, nil
 }
 
 // DownlinkWindows returns the merged time windows within [start, end)
@@ -91,6 +108,14 @@ func (g GroundSegment) NextDownlink(prop *orbit.Propagator, after, horizon time.
 // only instants of the form start + k·step, so an aligned ephemeris serves
 // the whole sweep from its samples.
 func (g GroundSegment) DownlinkWindows(src orbit.StateSource, start, end time.Time, step time.Duration) []orbit.Window {
+	return g.DownlinkWindowsUp(src, start, end, step, nil)
+}
+
+// DownlinkWindowsUp is DownlinkWindows restricted to stations that are up:
+// a station contributes reachability at instant t only when up(i, t) is
+// true, so outages of the operator's teleports thin the downlink windows.
+// A nil predicate treats every station as always up.
+func (g GroundSegment) DownlinkWindowsUp(src orbit.StateSource, start, end time.Time, step time.Duration, up func(station int, at time.Time) bool) []orbit.Window {
 	if !end.After(start) || len(g.Stations) == 0 {
 		return nil
 	}
@@ -107,7 +132,10 @@ func (g GroundSegment) DownlinkWindows(src orbit.StateSource, start, end time.Ti
 		if err == nil {
 			sub := orbit.GeodeticFromECEF(rECEF)
 			maxGround := g.maxGroundDistanceKm(sub.Alt)
-			for _, st := range g.Stations {
+			for i, st := range g.Stations {
+				if up != nil && !up(i, t) {
+					continue
+				}
 				if orbit.HaversineKm(sub, st) <= maxGround {
 					in = true
 					break

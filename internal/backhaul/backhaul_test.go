@@ -37,7 +37,10 @@ func TestNextDownlinkFound(t *testing.T) {
 	}
 	// A 49.97°-inclination satellite overflies China many times per day:
 	// the next downlink must be within a few hours.
-	at, ok := g.NextDownlink(prop, epoch, epoch.Add(24*time.Hour))
+	at, ok, err := g.NextDownlink(prop, epoch, epoch.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("no downlink opportunity within a day")
 	}
@@ -57,8 +60,83 @@ func TestNextDownlinkHorizonRespected(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A one-minute horizon almost surely contains no pass start.
-	if _, ok := g.NextDownlink(prop, epoch, epoch.Add(time.Minute)); ok {
+	if _, ok, err := g.NextDownlink(prop, epoch, epoch.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Skip("rare alignment: a pass started in the first minute")
+	}
+}
+
+func TestNextDownlinkUpSkipsDownedStations(t *testing.T) {
+	g := TianqiGroundSegment()
+	c := constellation.Tianqi(epoch)
+	prop, err := orbit.NewPropagator(c.Sats[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := epoch.Add(24 * time.Hour)
+	base, ok, err := g.NextDownlink(prop, epoch, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no baseline downlink within a day")
+	}
+	// Every station down: no opportunity at all.
+	if _, ok, err := g.NextDownlinkUp(prop, epoch, horizon, func(int, time.Time) bool { return false }); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("downlink found with the whole ground segment down")
+	}
+	// Stations down until after the baseline pass: the next opportunity
+	// must slip strictly past it.
+	cutoff := base.Add(time.Minute)
+	at, ok, err := g.NextDownlinkUp(prop, epoch, horizon, func(_ int, t time.Time) bool { return t.After(cutoff) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok && !at.After(cutoff) {
+		t.Fatalf("downlink %v not after outage cutoff %v", at, cutoff)
+	}
+	if ok && !at.After(base) {
+		t.Fatalf("outage did not delay the downlink: %v vs baseline %v", at, base)
+	}
+}
+
+func TestDownlinkWindowsUpThinsWindows(t *testing.T) {
+	g := TianqiGroundSegment()
+	c := constellation.Tianqi(epoch)
+	prop, err := orbit.NewPropagator(c.Sats[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := epoch.Add(24 * time.Hour)
+	eph := orbit.NewEphemeris(prop, epoch, end, time.Minute)
+	base := g.DownlinkWindows(eph, epoch, end, time.Minute)
+	if len(base) == 0 {
+		t.Fatal("no baseline downlink windows over a day")
+	}
+	var baseTotal time.Duration
+	for _, w := range base {
+		baseTotal += w.End.Sub(w.Start)
+	}
+	// All stations down: no windows.
+	if got := g.DownlinkWindowsUp(eph, epoch, end, time.Minute, func(int, time.Time) bool { return false }); len(got) != 0 {
+		t.Fatalf("windows survived a full ground-segment outage: %v", got)
+	}
+	// Half the stations down: coverage can only shrink.
+	thinned := g.DownlinkWindowsUp(eph, epoch, end, time.Minute, func(i int, _ time.Time) bool { return i%2 == 0 })
+	var thinTotal time.Duration
+	for _, w := range thinned {
+		thinTotal += w.End.Sub(w.Start)
+	}
+	if thinTotal > baseTotal {
+		t.Fatalf("outages grew downlink coverage: %v > %v", thinTotal, baseTotal)
+	}
+	// Nil predicate is identical to the unrestricted call.
+	same := g.DownlinkWindowsUp(eph, epoch, end, time.Minute, nil)
+	if len(same) != len(base) {
+		t.Fatalf("nil predicate changed the windows: %d vs %d", len(same), len(base))
 	}
 }
 

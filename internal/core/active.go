@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/sinet-io/sinet/internal/channel"
 	"github.com/sinet-io/sinet/internal/constellation"
 	"github.com/sinet-io/sinet/internal/energy"
+	"github.com/sinet-io/sinet/internal/fault"
 	"github.com/sinet-io/sinet/internal/lora"
 	"github.com/sinet-io/sinet/internal/mac"
 	"github.com/sinet-io/sinet/internal/node"
@@ -65,6 +67,13 @@ type ActiveConfig struct {
 	ScheduleAwareMinElevationRad float64
 	// Constellation override (defaults to Tianqi at Start).
 	Constellation *constellation.Constellation
+	// Radio overrides the node-side LoRa data parameters; nil uses the
+	// DtS defaults. Validated up front.
+	Radio *lora.Params
+	// Faults injects deterministic disruption (satellite beacon blackouts,
+	// drain-station outages); nil — the default — reproduces pre-fault
+	// results byte-identically.
+	Faults *fault.Config
 }
 
 func (c *ActiveConfig) setDefaults() {
@@ -203,6 +212,9 @@ type activeRunner struct {
 	jitter        *sim.RNG
 	beaconPayload int
 	drainDuration time.Duration
+	// satOutages holds each satellite's beacon-blackout schedule under
+	// fault injection (empty map when faults are off).
+	satOutages map[int]fault.Schedule
 	// wakeWindows are the predicted pass windows the schedule-aware node
 	// wakes for (empty when the optimization is off).
 	wakeWindows []orbit.Window
@@ -212,6 +224,17 @@ type activeRunner struct {
 
 // RunActive executes the satellite-side active campaign.
 func RunActive(cfg ActiveConfig) (*ActiveResult, error) {
+	return RunActiveCtx(context.Background(), cfg)
+}
+
+// RunActiveCtx is RunActive with config validation up front and
+// cooperative cancellation: the context is checked per satellite while
+// schedules build and before every simulation event, so a cancelled
+// campaign aborts promptly and returns ctx.Err().
+func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.setDefaults()
 	cons := constellation.Tianqi(cfg.Start)
 	if cfg.Constellation != nil {
@@ -232,6 +255,7 @@ func RunActive(cfg ActiveConfig) (*ActiveResult, error) {
 		ackLinks:    map[string]*radio.Link{},
 		delivery:    backhaul.NewDeliveryModel(sim.NewRNG(cfg.Seed, "active/delivery")),
 		jitter:      sim.NewRNG(cfg.Seed, "active/jitter"),
+		satOutages:  map[int]fault.Schedule{},
 		res:         &ActiveResult{Config: cfg, Meters: map[string]*energy.Meter{}},
 	}
 	if cfg.Weather != nil {
@@ -247,6 +271,9 @@ func RunActive(cfg ActiveConfig) (*ActiveResult, error) {
 	// hear a beacon in conditions where its own data frame would not
 	// survive — the origin of DtS data losses and retransmissions.
 	dtsParams := lora.DefaultDtSParams()
+	if cfg.Radio != nil {
+		dtsParams = *cfg.Radio
+	}
 	beaconParams := dtsParams
 	for i := 0; i < cfg.Nodes; i++ {
 		id := fmt.Sprintf("tq-%d", i+1)
@@ -291,6 +318,23 @@ func RunActive(cfg ActiveConfig) (*ActiveResult, error) {
 	r.beaconPayload = cons.BeaconPayloadBytes
 	r.drainDuration = segment.DrainDuration
 
+	// Fault schedules: drain-station outages thin the downlink windows the
+	// operator can book (stretching store-and-forward delivery tails), and
+	// per-satellite blackouts mute beacons at fire time. Both derive from
+	// dedicated named RNG streams, so enabling them never perturbs the
+	// campaign's other stochastic draws.
+	horizon := end.Add(graceAfterEnd)
+	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled()
+	drainFaults := faultsOn && cfg.Faults.DrainMTBF > 0
+	satFaults := faultsOn && cfg.Faults.SatMTBF > 0
+	var drainScheds []fault.Schedule
+	if drainFaults {
+		drainScheds = make([]fault.Schedule, len(segment.Stations))
+		for i := range segment.Stations {
+			drainScheds[i] = cfg.Faults.DrainSchedule(cfg.Seed, i, cfg.Start, horizon)
+		}
+	}
+
 	// Per-satellite prediction (passes, beacon times, downlink drains) is
 	// independent, SGP4-dominated work, so it fans out across workers into
 	// index-addressed slots; each worker samples its own ephemeris so the
@@ -303,13 +347,17 @@ func RunActive(cfg ActiveConfig) (*ActiveResult, error) {
 		beacons [][]time.Time
 		wake    []orbit.Window
 		drains  []time.Time
+		outage  fault.Schedule
 	}
 	plans := make([]satPlan, len(props))
-	sim.ForEach(len(props), func(i int) {
+	if err := sim.ForEachErr(len(props), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		plan := &plans[i]
 		plan.gw = satellite.NewGateway(props[i].Clone(), cons.BeaconInterval, cfg.SatBufferCapacity)
 
-		eph := orbit.NewEphemeris(props[i], cfg.Start, end.Add(graceAfterEnd), time.Minute)
+		eph := orbit.NewEphemeris(props[i], cfg.Start, horizon, time.Minute)
 		pp := orbit.NewEphemerisPredictor(eph)
 		passes := pp.Passes(site, cfg.Start, end, 0)
 		if cfg.ScheduleAwareMinElevationRad > 0 {
@@ -327,15 +375,31 @@ func RunActive(cfg ActiveConfig) (*ActiveResult, error) {
 		for _, pass := range passes {
 			plan.beacons = append(plan.beacons, plan.gw.BeaconTimes(pass.AOS, pass.LOS))
 		}
-		windows := segment.DownlinkWindows(eph, cfg.Start, end.Add(graceAfterEnd), time.Minute)
+		var windows []orbit.Window
+		if drainFaults {
+			windows = segment.DownlinkWindowsUp(eph, cfg.Start, horizon, time.Minute, func(station int, at time.Time) bool {
+				return !drainScheds[station].Down(at)
+			})
+		} else {
+			windows = segment.DownlinkWindows(eph, cfg.Start, horizon, time.Minute)
+		}
 		// Operators book roughly two drain sessions per revolution when
 		// geometry allows; the emergent mean store-and-forward delay is
 		// what Fig. 5d's delivery segment measures.
 		plan.drains = backhaul.ScheduleDrains(windows, 150*time.Minute)
-	})
+		if satFaults {
+			plan.outage = cfg.Faults.SatSchedule(cfg.Seed, plan.gw.NoradID, cfg.Start, end)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	for i := range plans {
 		gw := plans[i].gw
 		r.gateways[gw.NoradID] = gw
+		if satFaults {
+			r.satOutages[gw.NoradID] = plans[i].outage
+		}
 		r.wakeWindows = append(r.wakeWindows, plans[i].wake...)
 		for _, bts := range plans[i].beacons {
 			for _, bt := range bts {
@@ -400,7 +464,9 @@ func RunActive(cfg ActiveConfig) (*ActiveResult, error) {
 
 	// Run past the nominal end so packets already on board get their
 	// final drain opportunity (sensing and beacons stop at end).
-	r.engine.Run(end.Add(graceAfterEnd))
+	if err := r.engine.RunCtx(ctx, horizon); err != nil {
+		return nil, err
+	}
 
 	// Close books: drain remaining buffers at end-of-campaign drains that
 	// fell beyond the horizon are lost (undelivered), meters finish.
@@ -440,6 +506,12 @@ func (r *activeRunner) onSense(n *node.Node, at time.Time) {
 
 // onBeacon handles one satellite beacon instant.
 func (r *activeRunner) onBeacon(gwID int, at time.Time) {
+	if sched, ok := r.satOutages[gwID]; ok && sched.Down(at) {
+		// Blacked-out satellite: no beacon goes out, so no node is granted
+		// the channel and the retransmission policy just keeps the packet
+		// queued for the next audible beacon.
+		return
+	}
 	gw := r.gateways[gwID]
 	w := r.weather.At(at)
 

@@ -43,12 +43,14 @@ func RevisitAnalysis(cons constellation.Constellation, latitudesDeg []float64, s
 	// Sample each satellite's trajectory once; every latitude's pass
 	// search then reads the shared grid instead of re-propagating.
 	ephs := make([]*orbit.Ephemeris, len(props))
-	sim.ForEach(len(props), func(i int) {
+	if err := sim.ForEach(len(props), func(i int) {
 		ephs[i] = orbit.NewEphemeris(props[i], start, end, time.Minute)
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	out := make([]RevisitStats, len(latitudesDeg))
-	sim.ForEach(len(latitudesDeg), func(li int) {
+	if err := sim.ForEach(len(latitudesDeg), func(li int) {
 		site := orbit.NewGeodeticDeg(latitudesDeg[li], 0, 0)
 		var passes []orbit.Pass
 		for _, eph := range ephs {
@@ -73,6 +75,8 @@ func RevisitAnalysis(cons constellation.Constellation, latitudesDeg []float64, s
 			stats.MeanGap = sum / time.Duration(len(gaps))
 		}
 		out[li] = stats
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/constellation"
+	"github.com/sinet-io/sinet/internal/fault"
+	"github.com/sinet-io/sinet/internal/groundstation"
+	"github.com/sinet-io/sinet/internal/lora"
+	"github.com/sinet-io/sinet/internal/mac"
+	"github.com/sinet-io/sinet/internal/orbit"
+	"github.com/sinet-io/sinet/internal/sim"
+)
+
+func faultPassiveConfig(t *testing.T, faults *fault.Config) PassiveConfig {
+	t.Helper()
+	hk, ok := SiteByCode("HK")
+	if !ok {
+		t.Fatal("HK site missing")
+	}
+	return PassiveConfig{
+		Seed:  42,
+		Start: campaignStart,
+		Days:  2,
+		Sites: []Site{hk},
+		Constellations: []constellation.Constellation{
+			constellation.Tianqi(campaignStart),
+			constellation.PICO(campaignStart),
+		},
+		Faults: faults,
+	}
+}
+
+func TestPassiveNoFaultsHasNoAvailability(t *testing.T) {
+	res := smallPassive(t)
+	if res.Availability != nil {
+		t.Fatalf("faults disabled but Availability populated: %v", res.Availability)
+	}
+}
+
+func TestPassiveStationChurnReducesTraffic(t *testing.T) {
+	base, err := RunPassive(faultPassiveConfig(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned, err := RunPassive(faultPassiveConfig(t, &fault.Config{
+		StationMTBF: 6 * time.Hour,
+		StationMTTR: 6 * time.Hour,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Dataset.Len() == 0 {
+		t.Fatal("baseline campaign produced no traffic — vacuous comparison")
+	}
+	if churned.Dataset.Len() >= base.Dataset.Len() {
+		t.Fatalf("heavy churn did not reduce traffic: %d vs baseline %d",
+			churned.Dataset.Len(), base.Dataset.Len())
+	}
+	if len(churned.Availability) == 0 {
+		t.Fatal("churned campaign reports no availability rows")
+	}
+	mean := 0.0
+	for i, a := range churned.Availability {
+		if a.Uptime < 0 || a.Uptime > 1 {
+			t.Fatalf("station %s uptime %v outside [0,1]", a.Station, a.Uptime)
+		}
+		if a.Station == "" || a.Site == "" {
+			t.Fatalf("availability row %d missing identity: %+v", i, a)
+		}
+		mean += a.Uptime
+	}
+	mean /= float64(len(churned.Availability))
+	// MTBF == MTTR targets ~50% duty cycle; anything near 1.0 means the
+	// churn never actually bit.
+	if mean > 0.9 {
+		t.Fatalf("fleet mean uptime %.3f — churn barely injected", mean)
+	}
+}
+
+func TestPassiveFaultScheduleDeterministic(t *testing.T) {
+	cfg := func() PassiveConfig {
+		return faultPassiveConfig(t, &fault.Config{
+			StationMTBF: 24 * time.Hour,
+			StationMTTR: 4 * time.Hour,
+		})
+	}
+	a, err := RunPassive(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPassive(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Availability, b.Availability) {
+		t.Fatal("same seed and fault config produced different availability")
+	}
+	if !reflect.DeepEqual(a.Dataset.Records, b.Dataset.Records) {
+		t.Fatal("same seed and fault config produced different datasets")
+	}
+	if !reflect.DeepEqual(a.Contacts, b.Contacts) {
+		t.Fatal("same seed and fault config produced different contacts")
+	}
+}
+
+// panicScheduler is a deliberately crashing scheduler used to prove worker
+// panics surface as attributed errors instead of killing the process.
+type panicScheduler struct{}
+
+func (panicScheduler) Name() string { return "panic" }
+func (panicScheduler) Plan([]groundstation.Station, []orbit.Pass, time.Time, time.Time) []groundstation.Assignment {
+	panic("scheduler exploded")
+}
+
+func TestPassiveWorkerPanicBecomesError(t *testing.T) {
+	cfg := faultPassiveConfig(t, nil)
+	cfg.Scheduler = panicScheduler{}
+	_, err := RunPassive(cfg)
+	if err == nil {
+		t.Fatal("panicking scheduler did not surface as an error")
+	}
+	var pe *sim.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v (%T), want *sim.PanicError", err, err)
+	}
+	if pe.Value != "scheduler exploded" {
+		t.Fatalf("panic value %v, want the scheduler's", pe.Value)
+	}
+}
+
+func TestRunPassiveCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunPassiveCtx(ctx, faultPassiveConfig(t, nil))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestRunActiveCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunActiveCtx(ctx, ActiveConfig{
+		Seed: 42, Start: campaignStart, Days: 1, Policy: mac.DefaultRetxPolicy(),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestActiveSatBlackoutReducesDelivery(t *testing.T) {
+	run := func(faults *fault.Config) *ActiveResult {
+		t.Helper()
+		res, err := RunActive(ActiveConfig{
+			Seed: 42, Start: campaignStart, Days: 2,
+			Policy: mac.DefaultRetxPolicy(),
+			Faults: faults,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	delivered := func(r *ActiveResult) int {
+		n := 0
+		for _, p := range r.Packets {
+			if p.Delivered() {
+				n++
+			}
+		}
+		return n
+	}
+	base := run(nil)
+	if delivered(base) == 0 {
+		t.Fatal("baseline delivered nothing — vacuous comparison")
+	}
+	// Satellites dark half the time: beacons vanish, so nodes find fewer
+	// uplink opportunities.
+	dark := run(&fault.Config{SatMTBF: 3 * time.Hour, SatMTTR: 3 * time.Hour})
+	if d, b := delivered(dark), delivered(base); d >= b {
+		t.Fatalf("sat blackouts did not reduce delivery: %d vs baseline %d", d, b)
+	}
+}
+
+func TestActiveDrainChurnStretchesDelay(t *testing.T) {
+	run := func(faults *fault.Config) *ActiveResult {
+		t.Helper()
+		res, err := RunActive(ActiveConfig{
+			Seed: 42, Start: campaignStart, Days: 2,
+			Policy: mac.DefaultRetxPolicy(),
+			Faults: faults,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	meanDelay := func(r *ActiveResult) time.Duration {
+		var total time.Duration
+		n := 0
+		for _, p := range r.Packets {
+			if p.Delivered() {
+				total += p.ServerAt.Sub(p.GeneratedAt)
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no delivered packets to measure delay on")
+		}
+		return total / time.Duration(n)
+	}
+	base := run(nil)
+	// Drain teleports down two-thirds of the time: store-and-forward
+	// holds data longer before it can be dumped.
+	churned := run(&fault.Config{DrainMTBF: 4 * time.Hour, DrainMTTR: 8 * time.Hour})
+	if mc, mb := meanDelay(churned), meanDelay(base); mc <= mb {
+		t.Fatalf("drain churn did not stretch delivery delay: %v vs baseline %v", mc, mb)
+	}
+}
+
+func TestActiveFaultDeterministic(t *testing.T) {
+	cfg := func() ActiveConfig {
+		return ActiveConfig{
+			Seed: 42, Start: campaignStart, Days: 2,
+			Policy: mac.DefaultRetxPolicy(),
+			Faults: &fault.Config{
+				SatMTBF: 12 * time.Hour, SatMTTR: 2 * time.Hour,
+				DrainMTBF: 24 * time.Hour, DrainMTTR: 4 * time.Hour,
+			},
+		}
+	}
+	a, err := RunActive(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunActive(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Packets, b.Packets) {
+		t.Fatal("same seed and fault config produced different packet outcomes")
+	}
+	if !reflect.DeepEqual(a.MacStats, b.MacStats) {
+		t.Fatal("same seed and fault config produced different MAC stats")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	badRadio := lora.DefaultDtSParams()
+	badRadio.SF = 99
+
+	cases := []struct {
+		name string
+		run  func() error
+		want []error
+	}{
+		{
+			"passive negative days",
+			func() error { _, err := RunPassive(PassiveConfig{Seed: 1, Start: campaignStart, Days: -1}); return err },
+			[]error{ErrInvalidConfig},
+		},
+		{
+			"passive bad radio",
+			func() error {
+				cfg := PassiveConfig{Seed: 1, Start: campaignStart, Days: 1, Radio: &badRadio}
+				_, err := RunPassive(cfg)
+				return err
+			},
+			[]error{ErrInvalidConfig, lora.ErrBadSF},
+		},
+		{
+			"passive mismatched fault pair",
+			func() error {
+				cfg := faultPassiveConfig(t, &fault.Config{StationMTBF: time.Hour})
+				_, err := RunPassive(cfg)
+				return err
+			},
+			[]error{ErrInvalidConfig, fault.ErrBadConfig},
+		},
+		{
+			"active negative nodes",
+			func() error {
+				_, err := RunActive(ActiveConfig{Seed: 1, Start: campaignStart, Days: 1, Nodes: -5})
+				return err
+			},
+			[]error{ErrInvalidConfig},
+		},
+		{
+			"active bad radio",
+			func() error {
+				_, err := RunActive(ActiveConfig{Seed: 1, Start: campaignStart, Days: 1, Radio: &badRadio})
+				return err
+			},
+			[]error{ErrInvalidConfig, lora.ErrBadSF},
+		},
+		{
+			"terrestrial negative gateways",
+			func() error {
+				_, err := RunTerrestrial(TerrestrialConfig{Seed: 1, Start: campaignStart, Days: 1, Gateways: -1})
+				return err
+			},
+			[]error{ErrInvalidConfig},
+		},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		for _, want := range tc.want {
+			if !errors.Is(err, want) {
+				t.Errorf("%s: error %v does not wrap %v", tc.name, err, want)
+			}
+		}
+	}
+}

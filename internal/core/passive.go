@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/sinet-io/sinet/internal/channel"
 	"github.com/sinet-io/sinet/internal/constellation"
+	"github.com/sinet-io/sinet/internal/fault"
 	"github.com/sinet-io/sinet/internal/groundstation"
 	"github.com/sinet-io/sinet/internal/lora"
 	"github.com/sinet-io/sinet/internal/orbit"
@@ -42,6 +44,15 @@ type PassiveConfig struct {
 	// by concurrent site workers and must be safe for concurrent reads
 	// (the built-in providers are: their state is precomputed).
 	Weather WeatherProvider
+	// Radio overrides the station-side LoRa parameters; nil uses the DtS
+	// defaults. Validated up front so illegal SF/BW combinations are
+	// rejected before the campaign runs.
+	Radio *lora.Params
+	// Faults injects deterministic infrastructure disruption (station
+	// churn, maintenance windows); nil — the default — simulates perfectly
+	// available infrastructure and reproduces pre-fault results
+	// byte-identically.
+	Faults *fault.Config
 }
 
 func (c *PassiveConfig) setDefaults() {
@@ -111,11 +122,24 @@ func (c ContactStat) ReceptionRatio() float64 {
 	return float64(c.BeaconsReceived) / float64(c.BeaconsSent)
 }
 
+// StationAvailability summarizes one station's injected churn over its
+// campaign span: the availability-under-churn report row.
+type StationAvailability struct {
+	Station  string
+	Site     string
+	Uptime   float64
+	Outages  int
+	Downtime time.Duration
+}
+
 // PassiveResult is a completed passive campaign.
 type PassiveResult struct {
 	Config   PassiveConfig
 	Dataset  *trace.Dataset
 	Contacts []ContactStat
+	// Availability holds one row per station when fault injection is on
+	// (nil otherwise), in deterministic site/station order.
+	Availability []StationAvailability
 }
 
 // RunPassive executes the campaign and returns its dataset and per-contact
@@ -125,17 +149,32 @@ type PassiveResult struct {
 // writes into an index-addressed slot that is merged in the serial order,
 // so the output is bit-identical to a single-worker run.
 func RunPassive(cfg PassiveConfig) (*PassiveResult, error) {
+	return RunPassiveCtx(context.Background(), cfg)
+}
+
+// RunPassiveCtx is RunPassive with config validation up front and
+// cooperative cancellation: the context is checked per satellite while
+// ephemerides build and per pass while contacts simulate, so a cancelled
+// campaign aborts within roughly one coarse step of work and returns
+// ctx.Err().
+func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.setDefaults()
 	res := &PassiveResult{Config: cfg, Dataset: &trace.Dataset{}}
 	end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled()
 
-	// Per-site context: stations and one weather realization shared by
-	// every constellation (and worker) at the site.
+	// Per-site context: stations, one weather realization, and (under
+	// fault injection) the per-station outage schedules shared by every
+	// constellation (and worker) at the site.
 	type siteCtx struct {
 		site     Site
 		start    time.Time
 		stations []groundstation.Station
 		weather  WeatherProvider
+		outages  map[string][]orbit.Window
 	}
 	var siteCtxs []siteCtx
 	for _, site := range cfg.Sites {
@@ -150,7 +189,24 @@ func RunPassive(cfg PassiveConfig) (*PassiveResult, error) {
 		if weather == nil {
 			weather = NewWeatherProcess(sim.NewRNG(cfg.Seed, "weather/"+site.Code), site, start, cfg.Days)
 		}
-		siteCtxs = append(siteCtxs, siteCtx{site: site, start: start, stations: site.BuildStations(), weather: weather})
+		sc := siteCtx{site: site, start: start, stations: site.BuildStations(), weather: weather}
+		if faultsOn {
+			sc.outages = make(map[string][]orbit.Window, len(sc.stations))
+			for _, st := range sc.stations {
+				sched := cfg.Faults.StationSchedule(cfg.Seed, st.ID, start, end)
+				if ws := sched.Windows(); len(ws) > 0 {
+					sc.outages[st.ID] = ws
+				}
+				res.Availability = append(res.Availability, StationAvailability{
+					Station:  st.ID,
+					Site:     site.Code,
+					Uptime:   sched.Availability(start, end),
+					Outages:  sched.OutageCount(start, end),
+					Downtime: sched.DownTime(start, end),
+				})
+			}
+		}
+		siteCtxs = append(siteCtxs, sc)
 	}
 
 	// One ephemeris per satellite, shared by every site: the satellite
@@ -174,11 +230,17 @@ func RunPassive(cfg PassiveConfig) (*PassiveResult, error) {
 			sats = append(sats, satRef{ci, si})
 		}
 	}
-	sim.ForEach(len(sats), func(i int) {
+	if err := sim.ForEachErr(len(sats), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ref := sats[i]
 		cc := &consCtxs[ref.ci]
 		cc.ephs[ref.si] = orbit.NewEphemeris(cc.props[ref.si], cfg.Start, end, cfg.CoarseStep)
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
 	// Fan the (site × constellation) pairs across workers.
 	type pairRef struct {
@@ -192,10 +254,14 @@ func RunPassive(cfg PassiveConfig) (*PassiveResult, error) {
 		}
 	}
 	units := make([]*passiveUnit, len(pairs))
-	sim.ForEach(len(pairs), func(i int) {
+	if err := sim.ForEachErr(len(pairs), func(i int) error {
 		p := pairs[i]
-		units[i] = runPassiveSiteConstellation(cfg, p.s.site, p.s.stations, p.c, p.s.weather, p.s.start, end)
-	})
+		u, err := runPassiveSiteConstellation(ctx, cfg, p.s.site, p.s.stations, p.c, p.s.weather, p.s.start, end, p.s.outages)
+		units[i] = u
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	for _, u := range units {
 		res.Contacts = append(res.Contacts, u.contacts...)
 		res.Dataset.Records = append(res.Dataset.Records, u.records...)
@@ -222,8 +288,11 @@ type passiveUnit struct {
 
 // runPassiveSiteConstellation simulates one (site, constellation) pair. It
 // reads the shared ephemerides and clones the shared propagators, so
-// concurrent invocations never share mutable state.
-func runPassiveSiteConstellation(cfg PassiveConfig, site Site, stations []groundstation.Station, cc *consCtx, weather WeatherProvider, start, end time.Time) *passiveUnit {
+// concurrent invocations never share mutable state. Under fault injection
+// the tuning plan is clipped against the per-station outage windows before
+// indexing, so a downed station simply isn't tuned — the effective contact
+// shortfall emerges from churn rather than being modelled directly.
+func runPassiveSiteConstellation(ctx context.Context, cfg PassiveConfig, site Site, stations []groundstation.Station, cc *consCtx, weather WeatherProvider, start, end time.Time, outages map[string][]orbit.Window) (*passiveUnit, error) {
 	cons := cc.cons
 
 	// Predict all passes of the constellation over the site from the
@@ -231,6 +300,9 @@ func runPassiveSiteConstellation(cfg PassiveConfig, site Site, stations []ground
 	var passes []orbit.Pass
 	gateways := make(map[int]*satellite.Gateway, len(cc.props))
 	for i, p := range cc.props {
+		if err := ctx.Err(); err != nil {
+			return &passiveUnit{}, err
+		}
 		pp := orbit.NewEphemerisPredictor(cc.ephs[i])
 		pp.CoarseStep = cfg.CoarseStep
 		passes = append(passes, pp.Passes(site.Location, start, end, cfg.MinElevationRad)...)
@@ -238,20 +310,28 @@ func runPassiveSiteConstellation(cfg PassiveConfig, site Site, stations []ground
 	}
 
 	plan := cfg.Scheduler.Plan(stations, passes, start, end)
+	plan = groundstation.ClipAssignments(plan, outages)
 	planIdx := groundstation.NewPlanIndex(plan)
 
 	// Station-side receive chains: one channel realization per station.
+	rxParams := lora.DefaultDtSParams()
+	if cfg.Radio != nil {
+		rxParams = *cfg.Radio
+	}
 	links := make(map[string]*radio.Link, len(stations))
 	stationByID := make(map[string]groundstation.Station, len(stations))
 	for _, st := range stations {
 		model := channel.NewModel(sim.NewRNG(cfg.Seed, "chan/"+st.ID+"/"+cons.Name))
 		model.ShadowSigmaDB = 1.8
-		links[st.ID] = radio.NewLink(lora.DefaultDtSParams(), DtSDownlinkBudget(cons.TxPowerDBm), model, cons.FreqMHz, sim.NewRNG(cfg.Seed, "rx/"+st.ID+"/"+cons.Name))
+		links[st.ID] = radio.NewLink(rxParams, DtSDownlinkBudget(cons.TxPowerDBm), model, cons.FreqMHz, sim.NewRNG(cfg.Seed, "rx/"+st.ID+"/"+cons.Name))
 		stationByID[st.ID] = st
 	}
 
 	unit := &passiveUnit{}
 	for _, pass := range passes {
+		if err := ctx.Err(); err != nil {
+			return unit, err
+		}
 		gw := gateways[pass.NoradID]
 		stat := ContactStat{
 			Site:          site.Code,
@@ -322,5 +402,5 @@ func runPassiveSiteConstellation(cfg PassiveConfig, site Site, stations []ground
 		}
 		unit.contacts = append(unit.contacts, stat)
 	}
-	return unit
+	return unit, nil
 }

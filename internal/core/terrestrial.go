@@ -76,6 +76,9 @@ type TerrestrialResult struct {
 // discrete-event machinery: every reading transmits immediately to the
 // nearest gateway.
 func RunTerrestrial(cfg TerrestrialConfig) (*TerrestrialResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.setDefaults()
 	site := YunnanPlantation()
 	end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/sinet-io/sinet/internal/lora"
+)
+
+// ErrInvalidConfig is the sentinel wrapped by every campaign config
+// validation failure, so callers can errors.Is the whole family.
+var ErrInvalidConfig = errors.New("core: invalid config")
+
+// ConfigError names the offending field and why it was rejected. It wraps
+// ErrInvalidConfig (and, for nested validations like the radio params or
+// the fault model, the underlying cause too).
+type ConfigError struct {
+	Field  string
+	Reason string
+	Cause  error
+}
+
+// Error implements the error interface.
+func (e *ConfigError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("core: invalid config: %s: %s: %v", e.Field, e.Reason, e.Cause)
+	}
+	return fmt.Sprintf("core: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+// Unwrap lets errors.Is match both ErrInvalidConfig and any nested cause.
+func (e *ConfigError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrInvalidConfig, e.Cause}
+	}
+	return []error{ErrInvalidConfig}
+}
+
+func configErr(field, reason string) error {
+	return &ConfigError{Field: field, Reason: reason}
+}
+
+func configErrCause(field, reason string, cause error) error {
+	return &ConfigError{Field: field, Reason: reason, Cause: cause}
+}
+
+// validateRadio checks an optional radio-parameter override; nil means
+// "use the campaign default", which is validated too so a broken default
+// can never slip through silently.
+func validateRadio(field string, override *lora.Params, fallback lora.Params) error {
+	p := fallback
+	if override != nil {
+		p = *override
+	}
+	if err := p.Validate(); err != nil {
+		return configErrCause(field, "illegal LoRa parameters", err)
+	}
+	return nil
+}
+
+// Validate rejects clearly-invalid passive campaign configs with typed
+// errors wrapping ErrInvalidConfig. Zero values still mean "use the
+// default" — only actively wrong values (negatives, NaNs, broken radio or
+// fault parameters) are errors, so setDefaults behaviour is unchanged.
+func (c PassiveConfig) Validate() error {
+	if c.Days < 0 {
+		return configErr("Days", fmt.Sprintf("must be non-negative, got %d", c.Days))
+	}
+	if c.CoarseStep < 0 {
+		return configErr("CoarseStep", fmt.Sprintf("must be non-negative, got %v", c.CoarseStep))
+	}
+	if math.IsNaN(c.MinElevationRad) || c.MinElevationRad < 0 || c.MinElevationRad >= math.Pi/2 {
+		return configErr("MinElevationRad", fmt.Sprintf("must be in [0, π/2), got %v", c.MinElevationRad))
+	}
+	if err := validateRadio("Radio", c.Radio, lora.DefaultDtSParams()); err != nil {
+		return err
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return configErrCause("Faults", "bad fault model", err)
+		}
+	}
+	return nil
+}
+
+// Validate rejects clearly-invalid active campaign configs with typed
+// errors wrapping ErrInvalidConfig.
+func (c ActiveConfig) Validate() error {
+	if c.Days < 0 {
+		return configErr("Days", fmt.Sprintf("must be non-negative, got %d", c.Days))
+	}
+	if c.Nodes < 0 {
+		return configErr("Nodes", fmt.Sprintf("must be non-negative, got %d", c.Nodes))
+	}
+	if c.PayloadBytes < 0 {
+		return configErr("PayloadBytes", fmt.Sprintf("must be non-negative, got %d", c.PayloadBytes))
+	}
+	if c.SensePeriod < 0 {
+		return configErr("SensePeriod", fmt.Sprintf("must be non-negative, got %v", c.SensePeriod))
+	}
+	if c.SatBufferCapacity < 0 {
+		return configErr("SatBufferCapacity", fmt.Sprintf("must be non-negative, got %d", c.SatBufferCapacity))
+	}
+	if math.IsNaN(c.TxGateMarginDB) {
+		return configErr("TxGateMarginDB", "must not be NaN")
+	}
+	if math.IsNaN(c.ScheduleAwareMinElevationRad) || c.ScheduleAwareMinElevationRad < 0 || c.ScheduleAwareMinElevationRad >= math.Pi/2 {
+		return configErr("ScheduleAwareMinElevationRad", fmt.Sprintf("must be in [0, π/2), got %v", c.ScheduleAwareMinElevationRad))
+	}
+	if err := validateRadio("Radio", c.Radio, lora.DefaultDtSParams()); err != nil {
+		return err
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return configErrCause("Faults", "bad fault model", err)
+		}
+	}
+	return nil
+}
+
+// Validate rejects clearly-invalid terrestrial campaign configs with typed
+// errors wrapping ErrInvalidConfig.
+func (c TerrestrialConfig) Validate() error {
+	if c.Days < 0 {
+		return configErr("Days", fmt.Sprintf("must be non-negative, got %d", c.Days))
+	}
+	if c.Nodes < 0 {
+		return configErr("Nodes", fmt.Sprintf("must be non-negative, got %d", c.Nodes))
+	}
+	if c.PayloadBytes < 0 {
+		return configErr("PayloadBytes", fmt.Sprintf("must be non-negative, got %d", c.PayloadBytes))
+	}
+	if c.SensePeriod < 0 {
+		return configErr("SensePeriod", fmt.Sprintf("must be non-negative, got %v", c.SensePeriod))
+	}
+	if c.Gateways < 0 {
+		return configErr("Gateways", fmt.Sprintf("must be non-negative, got %d", c.Gateways))
+	}
+	return validateRadio("Radio", nil, lora.DefaultTerrestrialParams())
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -70,6 +71,7 @@ type Runner struct {
 	Scale Scale
 	Out   io.Writer
 
+	ctx         context.Context
 	passive     *core.PassiveResult
 	active5     *core.ActiveResult
 	active0     *core.ActiveResult
@@ -84,6 +86,22 @@ func New(scale Scale, out io.Writer) *Runner {
 	return &Runner{Scale: scale, Out: out}
 }
 
+// WithContext attaches a cancellation context: every campaign the runner
+// launches afterwards aborts promptly once ctx is cancelled, and RunAll
+// stops between steps. Returns the runner for chaining.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	r.ctx = ctx
+	return r
+}
+
+// context returns the attached context (Background when none was set).
+func (r *Runner) context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
 // Passive runs (once) and returns the shared passive campaign.
 func (r *Runner) Passive() (*core.PassiveResult, error) {
 	if r.passive != nil {
@@ -93,7 +111,7 @@ func (r *Runner) Passive() (*core.PassiveResult, error) {
 	if len(sites) == 0 {
 		sites = core.ContinentSites()
 	}
-	res, err := core.RunPassive(core.PassiveConfig{
+	res, err := core.RunPassiveCtx(r.context(), core.PassiveConfig{
 		Seed:  r.Scale.Seed,
 		Start: r.Scale.Start,
 		Days:  r.Scale.PassiveDays,
@@ -118,7 +136,7 @@ func (r *Runner) Active(retx bool) (*core.ActiveResult, error) {
 	if retx {
 		policy = mac.DefaultRetxPolicy()
 	}
-	res, err := core.RunActive(core.ActiveConfig{
+	res, err := core.RunActiveCtx(r.context(), core.ActiveConfig{
 		Seed:   r.Scale.Seed,
 		Start:  r.Scale.Start,
 		Days:   r.Scale.ActiveDays,
@@ -167,7 +185,7 @@ type Table1Result struct {
 // It runs its own campaign because Table 1 needs every site (the other
 // §3.1 analyses use the four continent sites).
 func (r *Runner) Table1() (Table1Result, error) {
-	res, err := core.RunPassive(core.PassiveConfig{
+	res, err := core.RunPassiveCtx(r.context(), core.PassiveConfig{
 		Seed:           r.Scale.Seed,
 		Start:          r.Scale.Start,
 		Days:           r.Scale.PassiveDays,
@@ -227,7 +245,7 @@ func (r *Runner) Fig3a() (Fig3aResult, error) {
 	hk, _ := core.SiteByCode("HK")
 	for i, n := range []int{12, 22} {
 		sub := constellation.TianqiSubset(r.Scale.Start, n)
-		res, err := core.RunPassive(core.PassiveConfig{
+		res, err := core.RunPassiveCtx(r.context(), core.PassiveConfig{
 			Seed: r.Scale.Seed, Start: r.Scale.Start, Days: r.Scale.PassiveDays,
 			Sites:          []core.Site{hk},
 			Constellations: []constellation.Constellation{sub},

@@ -71,7 +71,7 @@ func (r *Runner) Fig5b() (Fig5bResult, error) {
 		{"1/4λ rainy", channel.QuarterWave, channel.Rainy},
 	}
 	for _, c := range cells {
-		res, err := core.RunActive(core.ActiveConfig{
+		res, err := core.RunActiveCtx(r.context(), core.ActiveConfig{
 			Seed: r.Scale.Seed, Start: r.Scale.Start, Days: r.Scale.ActiveDays,
 			Policy: mac.DefaultRetxPolicy(), NodeAntenna: c.ant,
 			Weather: core.ConstantWeather{State: c.w},
@@ -229,7 +229,7 @@ func (r *Runner) Fig12a() (Fig12aResult, error) {
 	_ = report.Section(r.Out, "F12a", "Reliability vs payload size (Fig. 12a)")
 	tab := report.NewTable("", "Payload B", "reliability", "frac groups >=90%")
 	for _, payload := range []int{10, 60, 120} {
-		res, err := core.RunActive(core.ActiveConfig{
+		res, err := core.RunActiveCtx(r.context(), core.ActiveConfig{
 			Seed: r.Scale.Seed, Start: r.Scale.Start, Days: r.Scale.ActiveDays,
 			Policy: mac.NoRetxPolicy(), PayloadBytes: payload,
 		})
@@ -258,7 +258,7 @@ type Fig12bResult struct {
 
 // Fig12b reproduces the simultaneous-transmissions experiment.
 func (r *Runner) Fig12b() (Fig12bResult, error) {
-	res, err := core.RunActive(core.ActiveConfig{
+	res, err := core.RunActiveCtx(r.context(), core.ActiveConfig{
 		Seed: r.Scale.Seed, Start: r.Scale.Start,
 		Days:   r.Scale.ActiveDays + 4, // concurrency groups need samples
 		Nodes:  3,
@@ -368,6 +368,9 @@ func (r *Runner) RunAll() error {
 		func() error { _, err := r.Fig12b(); return err },
 	}
 	for _, step := range steps {
+		if err := r.context().Err(); err != nil {
+			return err
+		}
 		if err := step(); err != nil {
 			return err
 		}

@@ -49,13 +49,13 @@ func (r *Runner) Optimizations() (OptimizationsResult, error) {
 		Policy: mac.DefaultRetxPolicy(),
 	}
 
-	stock, err := core.RunActive(base)
+	stock, err := core.RunActiveCtx(r.context(), base)
 	if err != nil {
 		return out, err
 	}
 	idleCfg := base
 	idleCfg.SleepWhenIdle = true
-	idle, err := core.RunActive(idleCfg)
+	idle, err := core.RunActiveCtx(r.context(), idleCfg)
 	if err != nil {
 		return out, err
 	}
@@ -69,7 +69,7 @@ func (r *Runner) Optimizations() (OptimizationsResult, error) {
 
 	awareCfg := base
 	awareCfg.ScheduleAwareMinElevationRad = 0.35
-	aware, err := core.RunActive(awareCfg)
+	aware, err := core.RunActiveCtx(r.context(), awareCfg)
 	if err != nil {
 		return out, err
 	}
@@ -78,7 +78,7 @@ func (r *Runner) Optimizations() (OptimizationsResult, error) {
 
 	gateCfg := base
 	gateCfg.TxGateMarginDB = 5
-	gated, err := core.RunActive(gateCfg)
+	gated, err := core.RunActiveCtx(r.context(), gateCfg)
 	if err != nil {
 		return out, err
 	}
@@ -90,7 +90,7 @@ func (r *Runner) Optimizations() (OptimizationsResult, error) {
 	for _, budget := range []int{0, 1, 2, 3, 5} {
 		cfg := base
 		cfg.Policy = mac.RetxPolicy{MaxRetx: budget, AckTimeout: 3 * time.Second}
-		res, err := core.RunActive(cfg)
+		res, err := core.RunActiveCtx(r.context(), cfg)
 		if err != nil {
 			return out, err
 		}

@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/orbit"
+)
+
+var (
+	campStart = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	campEnd   = campStart.AddDate(0, 0, 30)
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{StationMTBF: 48 * time.Hour, StationMTTR: 6 * time.Hour}
+	a := cfg.StationSchedule(42, "HK-01", campStart, campEnd)
+	b := cfg.StationSchedule(42, "HK-01", campStart, campEnd)
+	if len(a.Windows()) == 0 {
+		t.Fatal("expected at least one outage over 30 days with MTBF 48h")
+	}
+	if !reflect.DeepEqual(a.Windows(), b.Windows()) {
+		t.Fatal("same seed and config produced different outage schedules")
+	}
+	// A different station draws from its own stream.
+	c := cfg.StationSchedule(42, "HK-02", campStart, campEnd)
+	if reflect.DeepEqual(a.Windows(), c.Windows()) {
+		t.Fatal("distinct stations share an outage schedule")
+	}
+	// A different seed reshuffles the same station.
+	d := cfg.StationSchedule(43, "HK-01", campStart, campEnd)
+	if reflect.DeepEqual(a.Windows(), d.Windows()) {
+		t.Fatal("distinct seeds produced identical outage schedules")
+	}
+}
+
+// TestScheduleDeterministicConcurrent builds the same schedule from many
+// goroutines; under -race this also proves construction shares no state.
+func TestScheduleDeterministicConcurrent(t *testing.T) {
+	cfg := Config{
+		StationMTBF: 48 * time.Hour, StationMTTR: 6 * time.Hour,
+		Maintenance: []orbit.Window{{Start: campStart.Add(24 * time.Hour), End: campStart.Add(26 * time.Hour)}},
+	}
+	want := cfg.StationSchedule(7, "SYD-03", campStart, campEnd).Windows()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := cfg.StationSchedule(7, "SYD-03", campStart, campEnd).Windows()
+			if !reflect.DeepEqual(got, want) {
+				t.Error("concurrent construction diverged from serial schedule")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestAvailabilityMonotoneInMTTR sweeps the repair time: longer outages must
+// not increase availability. Averaged over a small fleet to wash out
+// single-trajectory noise.
+func TestAvailabilityMonotoneInMTTR(t *testing.T) {
+	mttrs := []time.Duration{time.Hour, 4 * time.Hour, 12 * time.Hour, 24 * time.Hour}
+	prev := 2.0
+	for _, mttr := range mttrs {
+		cfg := Config{StationMTBF: 48 * time.Hour, StationMTTR: mttr}
+		sum := 0.0
+		const fleet = 32
+		for i := 0; i < fleet; i++ {
+			s := cfg.StationSchedule(42, fmt.Sprintf("ST-%02d", i), campStart, campEnd)
+			av := s.Availability(campStart, campEnd)
+			if av < 0 || av > 1 {
+				t.Fatalf("availability %v outside [0,1]", av)
+			}
+			sum += av
+		}
+		mean := sum / fleet
+		if mean >= prev {
+			t.Fatalf("mean availability %.4f at MTTR %v did not decrease (was %.4f)", mean, mttr, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestMaintenanceOnlySchedule(t *testing.T) {
+	m := []orbit.Window{
+		{Start: campStart.Add(2 * time.Hour), End: campStart.Add(3 * time.Hour)},
+		{Start: campStart.Add(150 * time.Minute), End: campStart.Add(4 * time.Hour)}, // overlaps the first
+		{Start: campStart.Add(10 * time.Hour), End: campStart.Add(11 * time.Hour)},
+	}
+	cfg := Config{Maintenance: m}
+	if !cfg.Enabled() {
+		t.Fatal("maintenance-only config should count as enabled")
+	}
+	s := cfg.StationSchedule(1, "X", campStart, campEnd)
+	want := []orbit.Window{
+		{Start: campStart.Add(2 * time.Hour), End: campStart.Add(4 * time.Hour)},
+		{Start: campStart.Add(10 * time.Hour), End: campStart.Add(11 * time.Hour)},
+	}
+	if !reflect.DeepEqual(s.Windows(), want) {
+		t.Fatalf("merged maintenance windows = %v, want %v", s.Windows(), want)
+	}
+}
+
+func TestScheduleQueries(t *testing.T) {
+	h := func(n int) time.Time { return campStart.Add(time.Duration(n) * time.Hour) }
+	s := newSchedule([]orbit.Window{
+		{Start: h(2), End: h(4)},
+		{Start: h(10), End: h(11)},
+	})
+	if s.Down(h(1)) || s.Down(h(4)) || s.Down(h(5)) {
+		t.Fatal("Down true outside outage windows")
+	}
+	if !s.Down(h(2)) || !s.Down(h(3)) || !s.Down(h(10)) {
+		t.Fatal("Down false inside outage windows")
+	}
+	if got := s.NextUp(h(3)); !got.Equal(h(4)) {
+		t.Fatalf("NextUp mid-outage = %v, want %v", got, h(4))
+	}
+	if got := s.NextUp(h(5)); !got.Equal(h(5)) {
+		t.Fatalf("NextUp while up = %v, want itself", got)
+	}
+	if got := s.DownTime(h(0), h(24)); got != 3*time.Hour {
+		t.Fatalf("DownTime = %v, want 3h", got)
+	}
+	if got := s.DownTime(h(3), h(24)); got != 2*time.Hour {
+		t.Fatalf("clipped DownTime = %v, want 2h", got)
+	}
+	if got := s.OutageCount(h(0), h(24)); got != 2 {
+		t.Fatalf("OutageCount = %d, want 2", got)
+	}
+	if got := s.OutageCount(h(5), h(9)); got != 0 {
+		t.Fatalf("OutageCount in quiet span = %d, want 0", got)
+	}
+	if got := s.Availability(h(0), h(24)); got != 1-3.0/24 {
+		t.Fatalf("Availability = %v, want %v", got, 1-3.0/24)
+	}
+}
+
+func TestZeroScheduleAlwaysUp(t *testing.T) {
+	var s Schedule
+	if s.Down(campStart) {
+		t.Fatal("zero schedule reports down")
+	}
+	if got := s.Availability(campStart, campEnd); got != 1 {
+		t.Fatalf("zero schedule availability = %v, want 1", got)
+	}
+	if got := s.NextUp(campStart); !got.Equal(campStart) {
+		t.Fatalf("zero schedule NextUp = %v, want input", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"full", Config{StationMTBF: time.Hour, StationMTTR: time.Minute}, true},
+		{"negative mtbf", Config{StationMTBF: -time.Hour, StationMTTR: time.Minute}, false},
+		{"mtbf without mttr", Config{StationMTBF: time.Hour}, false},
+		{"mttr without mtbf", Config{DrainMTTR: time.Hour}, false},
+		{"sat pair mismatch", Config{SatMTBF: time.Hour}, false},
+		{"inverted maintenance", Config{Maintenance: []orbit.Window{{Start: campEnd, End: campStart}}}, false},
+		{"empty maintenance window", Config{Maintenance: []orbit.Window{{Start: campStart, End: campStart}}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s: expected error", tc.name)
+			} else if !errors.Is(err, ErrBadConfig) {
+				t.Errorf("%s: error %v does not wrap ErrBadConfig", tc.name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package groundstation
+
+import (
+	"github.com/sinet-io/sinet/internal/orbit"
+)
+
+// ClipAssignments subtracts per-station outage windows from a tuning plan:
+// an assignment overlapping an outage of its station is truncated or split
+// so the returned plan only covers instants the station was actually up.
+// Assignments keep their original relative order (fragments of one
+// assignment stay adjacent), so PlanIndex tie-breaking — earliest-planned
+// assignment wins — is preserved. Stations absent from outages pass
+// through untouched, and a nil/empty outage map returns the plan as-is.
+// Each station's windows must be sorted and non-overlapping (as
+// fault.Schedule.Windows guarantees).
+func ClipAssignments(plan []Assignment, outages map[string][]orbit.Window) []Assignment {
+	if len(outages) == 0 {
+		return plan
+	}
+	out := make([]Assignment, 0, len(plan))
+	for _, a := range plan {
+		downs := outages[a.StationID]
+		if len(downs) == 0 {
+			out = append(out, a)
+			continue
+		}
+		cur := a.Start
+		for _, w := range downs {
+			if !w.End.After(cur) {
+				continue
+			}
+			if !w.Start.Before(a.End) {
+				break
+			}
+			if w.Start.After(cur) {
+				frag := a
+				frag.Start = cur
+				frag.End = w.Start
+				out = append(out, frag)
+			}
+			cur = maxTime(cur, w.End)
+			if !cur.Before(a.End) {
+				break
+			}
+		}
+		if cur.Before(a.End) {
+			frag := a
+			frag.Start = cur
+			out = append(out, frag)
+		}
+	}
+	return out
+}

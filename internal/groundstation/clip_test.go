@@ -1,0 +1,85 @@
+package groundstation
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/orbit"
+)
+
+func clipBase() time.Time { return time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC) }
+
+func mkAssign(station string, norad, startMin, endMin int) Assignment {
+	b := clipBase()
+	return Assignment{
+		StationID: station,
+		NoradID:   norad,
+		Start:     b.Add(time.Duration(startMin) * time.Minute),
+		End:       b.Add(time.Duration(endMin) * time.Minute),
+	}
+}
+
+func mkWin(startMin, endMin int) orbit.Window {
+	b := clipBase()
+	return orbit.Window{
+		Start: b.Add(time.Duration(startMin) * time.Minute),
+		End:   b.Add(time.Duration(endMin) * time.Minute),
+	}
+}
+
+func TestClipAssignmentsNoOutages(t *testing.T) {
+	plan := []Assignment{mkAssign("A", 1, 0, 10)}
+	if got := ClipAssignments(plan, nil); !reflect.DeepEqual(got, plan) {
+		t.Fatal("nil outage map should return the plan unchanged")
+	}
+	if got := ClipAssignments(plan, map[string][]orbit.Window{}); !reflect.DeepEqual(got, plan) {
+		t.Fatal("empty outage map should return the plan unchanged")
+	}
+}
+
+func TestClipAssignmentsTruncatesEdges(t *testing.T) {
+	plan := []Assignment{mkAssign("A", 1, 10, 30)}
+	out := map[string][]orbit.Window{"A": {mkWin(0, 15), mkWin(25, 40)}}
+	want := []Assignment{mkAssign("A", 1, 15, 25)}
+	if got := ClipAssignments(plan, out); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestClipAssignmentsSplitsAroundOutage(t *testing.T) {
+	plan := []Assignment{mkAssign("A", 1, 0, 60)}
+	out := map[string][]orbit.Window{"A": {mkWin(20, 30)}}
+	want := []Assignment{mkAssign("A", 1, 0, 20), mkAssign("A", 1, 30, 60)}
+	if got := ClipAssignments(plan, out); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestClipAssignmentsDropsFullyCovered(t *testing.T) {
+	plan := []Assignment{mkAssign("A", 1, 10, 20)}
+	out := map[string][]orbit.Window{"A": {mkWin(5, 25)}}
+	if got := ClipAssignments(plan, out); len(got) != 0 {
+		t.Fatalf("fully covered assignment survived: %v", got)
+	}
+}
+
+func TestClipAssignmentsPerStationAndOrder(t *testing.T) {
+	plan := []Assignment{
+		mkAssign("A", 1, 0, 30),
+		mkAssign("B", 2, 0, 30),
+		mkAssign("A", 3, 40, 70),
+	}
+	out := map[string][]orbit.Window{"A": {mkWin(10, 20), mkWin(50, 55)}}
+	got := ClipAssignments(plan, out)
+	want := []Assignment{
+		mkAssign("A", 1, 0, 10),
+		mkAssign("A", 1, 20, 30),
+		mkAssign("B", 2, 0, 30), // station B untouched
+		mkAssign("A", 3, 40, 50),
+		mkAssign("A", 3, 55, 70),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

@@ -83,6 +83,9 @@ func parseLine1(tle *TLE, line string) error {
 	if tle.NoradID, err = atoiField(line[2:7]); err != nil {
 		return fmt.Errorf("%w: catalog number: %v", ErrTLEFormat, err)
 	}
+	if tle.NoradID < 0 {
+		return fmt.Errorf("%w: negative catalog number %d", ErrTLEFormat, tle.NoradID)
+	}
 	tle.Class = line[7]
 	tle.IntlDesig = strings.TrimSpace(line[9:17])
 
@@ -90,14 +93,26 @@ func parseLine1(tle *TLE, line string) error {
 	if err != nil {
 		return fmt.Errorf("%w: epoch year: %v", ErrTLEFormat, err)
 	}
+	if yy < 0 {
+		return fmt.Errorf("%w: negative epoch year", ErrTLEFormat)
+	}
 	doy, err := atofField(line[20:32])
 	if err != nil {
 		return fmt.Errorf("%w: epoch day: %v", ErrTLEFormat, err)
+	}
+	if doy <= 0 || doy >= 367 {
+		return fmt.Errorf("%w: epoch day %v out of range", ErrTLEFormat, doy)
 	}
 	tle.Epoch = epochToTime(yy, doy)
 
 	if tle.NDot, err = atofField(line[33:43]); err != nil {
 		return fmt.Errorf("%w: ndot: %v", ErrTLEFormat, err)
+	}
+	// The card field is ".XXXXXXXX" with an implied leading zero, so a
+	// legal magnitude is strictly below one (the bound leaves room for
+	// Format's 8-decimal rounding).
+	if math.Abs(tle.NDot) >= 0.999999995 {
+		return fmt.Errorf("%w: ndot %v out of range", ErrTLEFormat, tle.NDot)
 	}
 	if tle.NDDot, err = parseExpField(line[44:52]); err != nil {
 		return fmt.Errorf("%w: nddot: %v", ErrTLEFormat, err)
@@ -107,6 +122,9 @@ func parseLine1(tle *TLE, line string) error {
 	}
 	if tle.ElsetNum, err = atoiField(line[64:68]); err != nil {
 		return fmt.Errorf("%w: element number: %v", ErrTLEFormat, err)
+	}
+	if tle.ElsetNum < 0 {
+		return fmt.Errorf("%w: negative element number", ErrTLEFormat)
 	}
 	return nil
 }
@@ -128,12 +146,20 @@ func parseLine2(tle *TLE, line string) error {
 	if tle.InclinationDeg, err = atofField(line[8:16]); err != nil {
 		return fmt.Errorf("%w: inclination: %v", ErrTLEFormat, err)
 	}
+	if tle.InclinationDeg < 0 || tle.InclinationDeg > 180 {
+		return fmt.Errorf("%w: inclination %v out of range", ErrTLEFormat, tle.InclinationDeg)
+	}
 	if tle.RAANDeg, err = atofField(line[17:25]); err != nil {
 		return fmt.Errorf("%w: raan: %v", ErrTLEFormat, err)
 	}
 	ecc, err := atofField("0." + strings.TrimSpace(line[26:33]))
 	if err != nil {
 		return fmt.Errorf("%w: eccentricity: %v", ErrTLEFormat, err)
+	}
+	// The card field is seven implied-decimal digits, but sloppy inputs
+	// can smuggle an exponent ("1e7" reads as 0.1e7).
+	if ecc < 0 || ecc >= 0.99999995 {
+		return fmt.Errorf("%w: eccentricity %v out of range", ErrTLEFormat, ecc)
 	}
 	tle.Eccentricity = ecc
 	if tle.ArgPerigeeDeg, err = atofField(line[34:42]); err != nil {
@@ -142,12 +168,28 @@ func parseLine2(tle *TLE, line string) error {
 	if tle.MeanAnomalyDeg, err = atofField(line[43:51]); err != nil {
 		return fmt.Errorf("%w: mean anomaly: %v", ErrTLEFormat, err)
 	}
+	for _, a := range [...]struct {
+		name string
+		v    float64
+	}{{"raan", tle.RAANDeg}, {"arg perigee", tle.ArgPerigeeDeg}, {"mean anomaly", tle.MeanAnomalyDeg}} {
+		if a.v < 0 || a.v > 360 {
+			return fmt.Errorf("%w: %s %v out of range", ErrTLEFormat, a.name, a.v)
+		}
+	}
 	if tle.MeanMotion, err = atofField(line[52:63]); err != nil {
 		return fmt.Errorf("%w: mean motion: %v", ErrTLEFormat, err)
+	}
+	// Must be a real orbit (OrbitalPeriod divides by it) and fit the
+	// %11.8f card column.
+	if tle.MeanMotion <= 0 || tle.MeanMotion >= 99.999999995 {
+		return fmt.Errorf("%w: mean motion %v out of range", ErrTLEFormat, tle.MeanMotion)
 	}
 	if rev := strings.TrimSpace(line[63:68]); rev != "" {
 		if tle.RevNumber, err = atoiField(rev); err != nil {
 			return fmt.Errorf("%w: rev number: %v", ErrTLEFormat, err)
+		}
+		if tle.RevNumber < 0 {
+			return fmt.Errorf("%w: negative rev number", ErrTLEFormat)
 		}
 	}
 	return nil
@@ -198,21 +240,38 @@ func parseExpField(s string) (float64, error) {
 	}
 	// Split off the exponent: the last '+' or '-' in the remaining string.
 	expIdx := strings.LastIndexAny(s, "+-")
+	var v float64
 	if expIdx <= 0 {
 		// No exponent; treat as plain implied-decimal mantissa.
 		m, err := strconv.ParseFloat("0."+strings.TrimSpace(s), 64)
-		return sign * m, err
+		if err != nil {
+			return 0, err
+		}
+		v = sign * m
+	} else {
+		mant, expStr := s[:expIdx], s[expIdx:]
+		m, err := strconv.ParseFloat("0."+strings.TrimSpace(mant), 64)
+		if err != nil {
+			return 0, err
+		}
+		e, err := strconv.Atoi(strings.TrimPrefix(expStr, "+"))
+		if err != nil {
+			return 0, err
+		}
+		// Real cards carry single-digit exponents; an absurd one would
+		// overflow to ±Inf and poison every derived element.
+		if e < -30 || e > 30 {
+			return 0, fmt.Errorf("exponent %d out of range", e)
+		}
+		v = sign * m * pow10(e)
 	}
-	mant, expStr := s[:expIdx], s[expIdx:]
-	m, err := strconv.ParseFloat("0."+strings.TrimSpace(mant), 64)
-	if err != nil {
-		return 0, err
+	// The 8-char card field holds a five-digit mantissa and a one-digit
+	// exponent, so any magnitude outside [1e-10, 1e8] cannot be written
+	// back without shifting the checksum column.
+	if v != 0 && (math.Abs(v) < 1e-10 || math.Abs(v) > 1e8) {
+		return 0, fmt.Errorf("value %v out of card range", v)
 	}
-	e, err := strconv.Atoi(strings.TrimPrefix(expStr, "+"))
-	if err != nil {
-		return 0, err
-	}
-	return sign * m * pow10(e), nil
+	return v, nil
 }
 
 func pow10(e int) float64 {
@@ -234,7 +293,17 @@ func atoiField(s string) (int, error) {
 }
 
 func atofField(s string) (float64, error) {
-	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, err
+	}
+	// ParseFloat accepts "NaN" and "Inf" spellings, which no valid TLE
+	// carries; letting them through would poison the elements (and Inf
+	// never terminates Format's exponent normalization loop).
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
 }
 
 // Format renders the TLE back to canonical two-line (or three-line, when a

@@ -1,0 +1,38 @@
+package report
+
+import (
+	"io"
+	"time"
+)
+
+// ChurnRow is one station's availability under injected churn.
+type ChurnRow struct {
+	Station  string
+	Site     string
+	Uptime   float64
+	Outages  int
+	Downtime time.Duration
+}
+
+// ChurnSummary renders the availability-under-churn report: a per-station
+// table of uptime, outage count and cumulative downtime, followed by the
+// fleet-wide mean availability. A nil/empty row set renders a notice
+// instead, so callers can pass the rows through unconditionally.
+func ChurnSummary(w io.Writer, rows []ChurnRow) error {
+	if err := Section(w, "churn", "Station availability under churn"); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return KV(w, "fault injection", "off (no station churn configured)")
+	}
+	tab := NewTable("", "Station", "Site", "Uptime %", "Outages", "Downtime")
+	var sum float64
+	for _, r := range rows {
+		sum += r.Uptime
+		tab.AddRow(r.Station, r.Site, r.Uptime*100, r.Outages, r.Downtime.Round(time.Second).String())
+	}
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+	return KV(w, "fleet mean availability", sum/float64(len(rows)))
+}

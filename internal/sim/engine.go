@@ -6,6 +6,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -108,12 +109,24 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // the clock passes end. The clock is left at the time of the last fired
 // event (or end, whichever is earlier).
 func (e *Engine) Run(end time.Time) {
+	_ = e.RunCtx(context.Background(), end)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked
+// before every event fires, so a cancelled campaign aborts within one event
+// and returns ctx.Err() with the queue intact and the clock at the last
+// fired event. A nil error means the run completed (drain, Stop, or
+// horizon) without cancellation.
+func (e *Engine) RunCtx(ctx context.Context, end time.Time) error {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ev := e.queue[0]
 		if ev.At.After(end) {
 			e.now = end
-			return
+			return nil
 		}
 		heap.Pop(&e.queue)
 		e.now = ev.At
@@ -123,6 +136,7 @@ func (e *Engine) Run(end time.Time) {
 	if !e.stopped && e.now.Before(end) {
 		e.now = end
 	}
+	return ctx.Err()
 }
 
 // RunAll fires every queued event regardless of horizon. Useful for tests.

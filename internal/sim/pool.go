@@ -1,22 +1,60 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError attributes a panic recovered in a ForEach worker to the job
+// index that raised it, so a crash deep inside a fan-out surfaces as an
+// ordinary error naming the failing unit of work instead of killing the
+// process.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: worker panicked on index %d: %v", e.Index, e.Value)
+}
 
 // ForEach runs fn(i) for every i in [0, n) across up to GOMAXPROCS
 // goroutines, returning once all calls complete. Indices are handed out by
 // an atomic counter, so work-stealing balances uneven jobs.
 //
+// A panicking fn does not crash the fan-out: the panic is recovered into a
+// *PanicError and every other index still runs; the lowest-index panic is
+// returned so the reported failure does not depend on goroutine scheduling.
+//
 // Determinism is the caller's contract: fn must write its result into an
 // index-addressed slot (results[i] = ...) and the caller merges the slots in
 // a fixed order afterwards. Execution order across indices is unspecified;
 // with GOMAXPROCS=1 (or n ≤ 1) fn runs inline in index order.
-func ForEach(n int, fn func(i int)) {
+func ForEach(n int, fn func(i int)) error {
+	return ForEachErr(n, func(i int) error { fn(i); return nil })
+}
+
+// ForEachErr is ForEach for fallible jobs. Every index runs regardless of
+// other indices' failures; the lowest-index error (a recovered panic counts
+// as one) is returned so the reported failure does not depend on goroutine
+// scheduling.
+func ForEachErr(n int, fn func(i int) error) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	errs := make([]error, n)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		errs[i] = fn(i)
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -24,37 +62,26 @@ func ForEach(n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			call(i)
 		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					call(i)
 				}
-				fn(i)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-}
-
-// ForEachErr is ForEach for fallible jobs. Every index runs regardless of
-// other indices' failures; the lowest-index error is returned so the
-// reported failure does not depend on goroutine scheduling.
-func ForEachErr(n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	errs := make([]error, n)
-	ForEach(n, func(i int) { errs[i] = fn(i) })
 	for _, err := range errs {
 		if err != nil {
 			return err

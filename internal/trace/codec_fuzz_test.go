@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fuzzCSVSample builds a small valid dataset through the writer itself, so
+// the seed corpus always matches the current column order.
+func fuzzCSVSample(tb testing.TB) string {
+	d := &Dataset{Records: []Record{
+		{
+			At: time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC), Kind: KindBeacon,
+			Station: "HK-01", Site: "HK", Constellation: "Tianqi", SatName: "TQ-1",
+			NoradID: 44027, FreqMHz: 468.7, RSSIDBm: -112.5, SNRDB: -8.25,
+			ElevationDeg: 12.5, AzimuthDeg: 230.1, RangeKm: 1500.2, SatAltKm: 570.3,
+			DopplerHz: -9800.5, PayloadBytes: 24, Weather: "clear", SeqID: 1,
+		},
+	}}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		tb.Fatalf("seed WriteCSV: %v", err)
+	}
+	return buf.String()
+}
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV decoder. The contract:
+// ReadCSV never panics, and any dataset it accepts survives a
+// WriteCSV → ReadCSV round trip with the same record count.
+func FuzzReadCSV(f *testing.F) {
+	valid := fuzzCSVSample(f)
+	f.Add(valid)
+	f.Add(strings.Join(csvHeader, ",") + "\n") // header only
+	f.Add("")
+	f.Add("at,kind\n1,2\n")                          // wrong column count
+	f.Add(valid[:len(valid)/2])                      // truncated mid-row
+	f.Add(strings.Replace(valid, "44027", "x", 1))   // non-numeric norad
+	f.Add(strings.Replace(valid, "468.7", "NaN", 1)) // NaN float column
+	f.Add("\"unterminated quote\n")
+	f.Add("名前,kind\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := ReadCSV(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("re-encode of accepted dataset failed: %v", err)
+		}
+		d2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round-trip re-parse failed: %v", err)
+		}
+		if len(d2.Records) != len(d.Records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(d.Records), len(d2.Records))
+		}
+	})
+}

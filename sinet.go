@@ -22,6 +22,7 @@
 package sinet
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -31,6 +32,8 @@ import (
 	"github.com/sinet-io/sinet/internal/cost"
 	"github.com/sinet-io/sinet/internal/energy"
 	"github.com/sinet-io/sinet/internal/experiments"
+	"github.com/sinet-io/sinet/internal/fault"
+	"github.com/sinet-io/sinet/internal/lora"
 	"github.com/sinet-io/sinet/internal/mac"
 	"github.com/sinet-io/sinet/internal/orbit"
 	"github.com/sinet-io/sinet/internal/trace"
@@ -163,16 +166,55 @@ type Site = core.Site
 // EnergyComparison is the Fig. 6 satellite-vs-terrestrial energy result.
 type EnergyComparison = core.EnergyComparison
 
+// StationAvailability is one station's availability-under-churn summary.
+type StationAvailability = core.StationAvailability
+
+// ErrInvalidConfig is the sentinel every campaign config validation error
+// wraps; match with errors.Is.
+var ErrInvalidConfig = core.ErrInvalidConfig
+
 // RunPassive executes a passive measurement campaign.
 func RunPassive(cfg PassiveConfig) (*PassiveResult, error) { return core.RunPassive(cfg) }
 
+// RunPassiveCtx is RunPassive with cooperative cancellation: a cancelled
+// context aborts the campaign within about one coarse step and returns
+// ctx.Err().
+func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, error) {
+	return core.RunPassiveCtx(ctx, cfg)
+}
+
 // RunActive executes an active (Tianqi-node) campaign.
 func RunActive(cfg ActiveConfig) (*ActiveResult, error) { return core.RunActive(cfg) }
+
+// RunActiveCtx is RunActive with cooperative cancellation.
+func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) {
+	return core.RunActiveCtx(ctx, cfg)
+}
 
 // RunTerrestrial executes the terrestrial baseline campaign.
 func RunTerrestrial(cfg TerrestrialConfig) (*TerrestrialResult, error) {
 	return core.RunTerrestrial(cfg)
 }
+
+// --- Fault injection ------------------------------------------------------
+
+// FaultConfig parameterizes deterministic infrastructure disruption:
+// ground-station Gilbert churn (MTBF/MTTR), scheduled maintenance windows,
+// drain-station outages and per-satellite beacon blackouts. Attach one to
+// PassiveConfig.Faults or ActiveConfig.Faults; the zero value (or a nil
+// field) injects nothing and reproduces fault-free results byte-identically.
+type FaultConfig = fault.Config
+
+// FaultSchedule is one component's queryable outage timeline.
+type FaultSchedule = fault.Schedule
+
+// LoRaParams are the physical-layer modulation parameters; set
+// PassiveConfig.Radio / ActiveConfig.Radio to override the DtS defaults
+// (validated up front against illegal SF/BW combinations).
+type LoRaParams = lora.Params
+
+// DefaultDtSParams returns the DtS downlink/uplink modulation defaults.
+func DefaultDtSParams() LoRaParams { return lora.DefaultDtSParams() }
 
 // RevisitStats is a constellation's theoretical coverage/revisit profile
 // at one latitude.
