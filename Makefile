@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke fuzz-smoke staticcheck govulncheck ci
+.PHONY: all build test race bench-smoke fuzz-smoke serve-smoke staticcheck govulncheck ci
 
 all: build
 
@@ -24,6 +24,13 @@ fuzz-smoke:
 	$(GO) test ./internal/orbit/ -run '^$$' -fuzz FuzzParseTLE -fuzztime 10s
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzReadCSV -fuzztime 10s
 
+# serve-smoke proves the daemon end to end: start sinetd on a random port
+# with the cache disabled, submit a small passive job over HTTP, poll it to
+# completion, and require the served bytes to be identical to the same
+# campaign run directly through the sinet library.
+serve-smoke:
+	$(GO) run ./cmd/sinetd -smoke
+
 # staticcheck / govulncheck run only when installed, so `make ci` stays usable
 # in hermetic environments; the GitHub workflow installs both.
 staticcheck:
@@ -43,3 +50,4 @@ ci:
 	$(MAKE) staticcheck
 	$(MAKE) govulncheck
 	$(MAKE) bench-smoke
+	$(MAKE) serve-smoke

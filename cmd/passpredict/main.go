@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -22,22 +23,45 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("passpredict: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	lat := flag.Float64("lat", 22.3193, "site latitude, degrees")
-	lon := flag.Float64("lon", 114.1694, "site longitude, degrees")
-	alt := flag.Float64("alt", 0, "site altitude, km")
-	hours := flag.Float64("hours", 24, "search horizon, hours")
-	minEl := flag.Float64("minel", 0, "minimum elevation mask, degrees")
-	tlePath := flag.String("tle", "", "TLE file (2- or 3-line sets, repeated)")
-	consName := flag.String("constellation", "Tianqi", "built-in constellation when no TLE file is given")
-	startStr := flag.String("start", "", "search start (RFC3339, default: constellation epoch)")
-	flag.Parse()
+// run parses arguments, predicts and prints the passes. It is the single
+// exit path: every failure returns an error instead of exiting mid-flight,
+// which keeps the whole flow testable.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("passpredict", flag.ContinueOnError)
+	lat := fs.Float64("lat", 22.3193, "site latitude, degrees")
+	lon := fs.Float64("lon", 114.1694, "site longitude, degrees")
+	alt := fs.Float64("alt", 0, "site altitude, km")
+	hours := fs.Float64("hours", 24, "search horizon, hours")
+	minEl := fs.Float64("minel", 0, "minimum elevation mask, degrees")
+	tlePath := fs.String("tle", "", "TLE file (2- or 3-line sets, repeated)")
+	consName := fs.String("constellation", "Tianqi", "built-in constellation when no TLE file is given")
+	startStr := fs.String("start", "", "search start (RFC3339, default: constellation epoch)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *lat < -90 || *lat > 90 {
+		return fmt.Errorf("-lat must be in [-90, 90], got %v", *lat)
+	}
+	if *lon < -180 || *lon > 180 {
+		return fmt.Errorf("-lon must be in [-180, 180], got %v", *lon)
+	}
+	if *hours <= 0 {
+		return fmt.Errorf("-hours must be positive, got %v", *hours)
+	}
+	if *minEl < 0 || *minEl >= 90 {
+		return fmt.Errorf("-minel must be in [0, 90), got %v", *minEl)
+	}
 
 	start := time.Date(2024, 10, 1, 0, 0, 0, 0, time.UTC)
 	if *startStr != "" {
 		t, err := time.Parse(time.RFC3339, *startStr)
 		if err != nil {
-			log.Fatalf("bad -start: %v", err)
+			return fmt.Errorf("bad -start: %w", err)
 		}
 		start = t.UTC()
 	}
@@ -47,10 +71,10 @@ func main() {
 
 	props, err := loadPropagators(*tlePath, *consName, start)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("site lat=%.4f lon=%.4f alt=%.1fkm  window %s .. %s  mask %.1f°\n\n",
+	fmt.Fprintf(stdout, "site lat=%.4f lon=%.4f alt=%.1fkm  window %s .. %s  mask %.1f°\n\n",
 		*lat, *lon, *alt, start.Format(time.RFC3339), end.Format(time.RFC3339), *minEl)
 
 	var all []sinet.Pass
@@ -60,19 +84,20 @@ func main() {
 	}
 	sortPasses(all)
 	if len(all) == 0 {
-		fmt.Println("no passes found")
-		return
+		fmt.Fprintln(stdout, "no passes found")
+		return nil
 	}
-	fmt.Printf("%-14s %-20s %-20s %-9s %-7s %-9s\n", "SAT", "AOS (UTC)", "LOS (UTC)", "DUR", "MAXEL", "MINRANGE")
+	fmt.Fprintf(stdout, "%-14s %-20s %-20s %-9s %-7s %-9s\n", "SAT", "AOS (UTC)", "LOS (UTC)", "DUR", "MAXEL", "MINRANGE")
 	for _, p := range all {
-		fmt.Printf("%-14s %-20s %-20s %-9s %5.1f°  %7.0fkm\n",
+		fmt.Fprintf(stdout, "%-14s %-20s %-20s %-9s %5.1f°  %7.0fkm\n",
 			p.Name,
 			p.AOS.Format("2006-01-02 15:04:05"),
 			p.LOS.Format("2006-01-02 15:04:05"),
 			p.Duration().Round(time.Second),
 			p.MaxElevationDeg(), p.MinRangeKm)
 	}
-	fmt.Printf("\n%d passes\n", len(all))
+	fmt.Fprintf(stdout, "\n%d passes\n", len(all))
+	return nil
 }
 
 // loadPropagators builds propagators from a TLE file or a built-in fleet.

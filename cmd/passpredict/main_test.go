@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"strings"
 	"testing"
 	"time"
 
@@ -10,6 +12,50 @@ import (
 const issTLE = `ISS (ZARYA)
 1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927
 2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537`
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"lat too low", []string{"-lat", "-91"}, "-lat must be in"},
+		{"lat too high", []string{"-lat", "90.5"}, "-lat must be in"},
+		{"lon too low", []string{"-lon", "-181"}, "-lon must be in"},
+		{"lon too high", []string{"-lon", "200"}, "-lon must be in"},
+		{"zero hours", []string{"-hours", "0"}, "-hours must be positive"},
+		{"negative hours", []string{"-hours", "-5"}, "-hours must be positive"},
+		{"negative minel", []string{"-minel", "-1"}, "-minel must be in"},
+		{"minel at zenith", []string{"-minel", "90"}, "-minel must be in"},
+		{"bad start", []string{"-start", "yesterday"}, "bad -start"},
+		{"unknown constellation", []string{"-constellation", "starlink"}, "unknown constellation"},
+		{"missing tle file", []string{"-tle", "/nonexistent/file.tle"}, "no such file"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, io.Discard)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRunPredictsPasses(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-constellation", "FOSSA", "-hours", "12"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "site lat=22.3193") {
+		t.Fatalf("missing site header:\n%s", text)
+	}
+	if !strings.Contains(text, "passes") {
+		t.Fatalf("missing pass count:\n%s", text)
+	}
+}
 
 func TestParseTLEFileSingle(t *testing.T) {
 	props, err := parseTLEFile(issTLE)

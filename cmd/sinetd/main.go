@@ -1,0 +1,118 @@
+// Command sinetd serves measurement campaigns over HTTP: submit passive,
+// active, coverage or backhaul campaign specs as JSON jobs, follow their
+// progress over SSE, and fetch content-addressed, cached results.
+//
+// Usage:
+//
+//	sinetd [-addr :8470] [-workers N] [-queue 64] [-cache-bytes 268435456]
+//	sinetd -smoke   # self-check: serve on a random port, submit a small
+//	                # job over HTTP, diff against the direct library call
+//
+// The API (see DESIGN.md "Serving architecture"):
+//
+//	POST   /v1/jobs             GET /v1/jobs/{id}         GET /v1/jobs/{id}/result
+//	DELETE /v1/jobs/{id}        GET /v1/jobs/{id}/events  GET /v1/stats  GET /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sinetd: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run parses arguments and serves (or self-checks) until shutdown. It is
+// the single exit path: every failure returns an error instead of exiting
+// mid-flight.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sinetd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8470", "listen address")
+	workers := fs.Int("workers", 0, "simulation worker count (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "queued-job bound; a full queue returns 429")
+	cacheBytes := fs.Int64("cache-bytes", 256<<20, "result cache budget in bytes (0 disables caching)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	smoke := fs.Bool("smoke", false, "run the serve-smoke self check and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", *workers)
+	}
+	if *queue <= 0 {
+		return fmt.Errorf("-queue must be positive, got %d", *queue)
+	}
+	if *cacheBytes < 0 {
+		return fmt.Errorf("-cache-bytes must be non-negative, got %d", *cacheBytes)
+	}
+	if *drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout)
+	}
+
+	if *smoke {
+		return runSmoke(stdout)
+	}
+	return serve(*addr, service.Config{Workers: *workers, QueueDepth: *queue, CacheBytes: *cacheBytes}, *drainTimeout, stdout)
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
+// refuse new work, cancel queued and running jobs, stop the listener.
+func serve(addr string, cfg service.Config, drainTimeout time.Duration, stdout io.Writer) error {
+	svc := service.New(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: svc.Handler()}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "sinetd listening on %s (workers=%d queue=%d cache=%dB)\n",
+		ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.CacheBytes)
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "received %v, draining\n", sig)
+	case err := <-errCh:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Order matters: drain the service first so in-flight HTTP polls see
+	// jobs reach their canceled terminal states, then close the listener.
+	if err := svc.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Fprintln(stdout, "drained cleanly")
+	return <-errCh
+}

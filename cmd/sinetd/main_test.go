@@ -1,0 +1,44 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative workers", []string{"-workers", "-1"}, "-workers must be non-negative"},
+		{"zero queue", []string{"-queue", "0"}, "-queue must be positive"},
+		{"negative queue", []string{"-queue", "-5"}, "-queue must be positive"},
+		{"negative cache", []string{"-cache-bytes", "-1"}, "-cache-bytes must be non-negative"},
+		{"zero drain timeout", []string{"-drain-timeout", "0s"}, "-drain-timeout must be positive"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, io.Discard)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSmokeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a one-day campaign twice")
+	}
+	var out strings.Builder
+	if err := run([]string{"-smoke"}, &out); err != nil {
+		t.Fatalf("smoke failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("smoke output missing PASS:\n%s", out.String())
+	}
+}

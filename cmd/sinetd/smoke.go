@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	sinet "github.com/sinet-io/sinet"
+	"github.com/sinet-io/sinet/internal/service"
+)
+
+// smokeSpec is the small passive campaign the self-check serves: one site,
+// the 3-satellite FOSSA fleet, one day — seconds of work.
+const smokeSpec = `{
+  "kind": "passive",
+  "passive": {"seed": 7, "days": 1, "sites": ["HK"], "constellations": ["FOSSA"]}
+}`
+
+// runSmoke is the end-to-end self check behind `make serve-smoke`: start a
+// daemon on a random port with the cache DISABLED (so the served result is
+// freshly computed, not replayed), drive a job through the HTTP API, and
+// require the served bytes to be byte-identical to the same campaign run
+// directly through the sinet library.
+func runSmoke(stdout io.Writer) error {
+	svc := service.New(service.Config{CacheBytes: 0})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() { _ = httpSrv.Close() }()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(stdout, "serve-smoke: daemon on %s (cache disabled)\n", base)
+
+	// Health first: the daemon must be live before it is load-bearing.
+	if err := expectHealth(base); err != nil {
+		return err
+	}
+
+	// Submit over the wire.
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(smokeSpec))
+	if err != nil {
+		return fmt.Errorf("serve-smoke: submit: %w", err)
+	}
+	var submitted struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := decodeInto(resp, http.StatusAccepted, &submitted); err != nil {
+		return fmt.Errorf("serve-smoke: submit: %w", err)
+	}
+	fmt.Fprintf(stdout, "serve-smoke: submitted job %s\n", submitted.ID)
+
+	// Poll to completion.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		r, err := http.Get(base + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			return fmt.Errorf("serve-smoke: poll: %w", err)
+		}
+		var view struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := decodeInto(r, http.StatusOK, &view); err != nil {
+			return fmt.Errorf("serve-smoke: poll: %w", err)
+		}
+		if view.State == "done" {
+			break
+		}
+		if view.State == "failed" || view.State == "canceled" {
+			return fmt.Errorf("serve-smoke: job ended %s: %s", view.State, view.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve-smoke: job still %s after 2m", view.State)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Fetch the served result bytes.
+	r, err := http.Get(base + "/v1/jobs/" + submitted.ID + "/result")
+	if err != nil {
+		return fmt.Errorf("serve-smoke: result: %w", err)
+	}
+	served, err := readAll(r, http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("serve-smoke: result: %w", err)
+	}
+
+	// The golden: the exact same campaign through the public library API,
+	// serialized by the service's canonical marshaller.
+	start := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	hk, _ := sinet.SiteByCode("HK")
+	direct, err := sinet.RunPassive(sinet.PassiveConfig{
+		Seed:           7,
+		Start:          start,
+		Days:           1,
+		Sites:          []sinet.Site{hk},
+		Constellations: []sinet.Constellation{sinet.FOSSA(start)},
+	})
+	if err != nil {
+		return fmt.Errorf("serve-smoke: direct run: %w", err)
+	}
+	golden, err := service.MarshalResult(direct)
+	if err != nil {
+		return fmt.Errorf("serve-smoke: marshal direct result: %w", err)
+	}
+
+	if !bytes.Equal(served, golden) {
+		return fmt.Errorf("serve-smoke: served result (%d bytes) differs from direct library run (%d bytes)", len(served), len(golden))
+	}
+	fmt.Fprintf(stdout, "serve-smoke: PASS — served result byte-identical to direct run (%d bytes)\n", len(served))
+	return nil
+}
+
+func expectHealth(base string) error {
+	r, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("serve-smoke: healthz: %w", err)
+	}
+	if _, err := readAll(r, http.StatusOK); err != nil {
+		return fmt.Errorf("serve-smoke: healthz: %w", err)
+	}
+	return nil
+}
+
+func decodeInto(r *http.Response, wantStatus int, v any) error {
+	data, err := readAll(r, wantStatus)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+func readAll(r *http.Response, wantStatus int) ([]byte, error) {
+	defer r.Body.Close()
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	if r.StatusCode != wantStatus {
+		return nil, fmt.Errorf("status %d (want %d): %s", r.StatusCode, wantStatus, bytes.TrimSpace(data))
+	}
+	return data, nil
+}

@@ -39,8 +39,9 @@ type ActiveConfig struct {
 	// NodeAntenna is the whip profile (Fig. 5b: 1/4λ vs 5/8λ).
 	NodeAntenna channel.Antenna
 	// Weather pins the sky for controlled runs; nil uses the Yunnan
-	// weather process.
-	Weather WeatherProvider
+	// weather process. Excluded from JSON: providers are behaviour, not
+	// data, and cannot round-trip through an interface.
+	Weather WeatherProvider `json:"-"`
 	// AlignedPhases makes all nodes sense simultaneously, forcing the
 	// concurrent transmissions of Fig. 12b.
 	AlignedPhases bool
@@ -74,6 +75,11 @@ type ActiveConfig struct {
 	// drain-station outages); nil — the default — reproduces pre-fault
 	// results byte-identically.
 	Faults *fault.Config
+	// Progress observes the campaign's phases ("plan" as per-satellite
+	// schedules build, then "simulate" per elapsed campaign day); nil
+	// observes nothing. It never influences results and is excluded from
+	// serialization.
+	Progress ProgressFunc `json:"-"`
 }
 
 func (c *ActiveConfig) setDefaults() {
@@ -350,7 +356,7 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 		outage  fault.Schedule
 	}
 	plans := make([]satPlan, len(props))
-	if err := sim.ForEachErr(len(props), func(i int) error {
+	if err := sim.ForEachErrProgress(len(props), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -391,7 +397,7 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 			plan.outage = cfg.Faults.SatSchedule(cfg.Seed, plan.gw.NoradID, cfg.Start, end)
 		}
 		return nil
-	}); err != nil {
+	}, cfg.Progress.phase("plan")); err != nil {
 		return nil, err
 	}
 	for i := range plans {
@@ -459,6 +465,19 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 		}
 		if err := r.engine.Schedule(cfg.Start.Add(offset), sense); err != nil {
 			return nil, err
+		}
+	}
+
+	// Day markers let observers follow the event-driven phase. They touch
+	// no simulation state, so enabling progress never perturbs results.
+	if cfg.Progress != nil {
+		for d := 1; d <= cfg.Days; d++ {
+			d := d
+			if err := r.engine.Schedule(cfg.Start.Add(time.Duration(d)*24*time.Hour), func(*sim.Engine) {
+				cfg.Progress.report("simulate", d, cfg.Days)
+			}); err != nil {
+				return nil, err
+			}
 		}
 	}
 

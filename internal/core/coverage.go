@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,6 +35,14 @@ func (r RevisitStats) String() string {
 // the given number of days. It is purely geometric — the optimistic bound
 // that §3.1 then shows collapsing once real link budgets apply.
 func RevisitAnalysis(cons constellation.Constellation, latitudesDeg []float64, start time.Time, days int) ([]RevisitStats, error) {
+	return RevisitAnalysisCtx(context.Background(), cons, latitudesDeg, start, days, nil)
+}
+
+// RevisitAnalysisCtx is RevisitAnalysis with cooperative cancellation (the
+// context is checked per satellite while ephemerides build and per latitude
+// while gaps compute) and optional progress reporting over the "ephemeris"
+// and "latitudes" phases.
+func RevisitAnalysisCtx(ctx context.Context, cons constellation.Constellation, latitudesDeg []float64, start time.Time, days int, progress ProgressFunc) ([]RevisitStats, error) {
 	props, err := cons.Propagators()
 	if err != nil {
 		return nil, err
@@ -43,14 +52,21 @@ func RevisitAnalysis(cons constellation.Constellation, latitudesDeg []float64, s
 	// Sample each satellite's trajectory once; every latitude's pass
 	// search then reads the shared grid instead of re-propagating.
 	ephs := make([]*orbit.Ephemeris, len(props))
-	if err := sim.ForEach(len(props), func(i int) {
+	if err := sim.ForEachErrProgress(len(props), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ephs[i] = orbit.NewEphemeris(props[i], start, end, time.Minute)
-	}); err != nil {
+		return nil
+	}, progress.phase("ephemeris")); err != nil {
 		return nil, err
 	}
 
 	out := make([]RevisitStats, len(latitudesDeg))
-	if err := sim.ForEach(len(latitudesDeg), func(li int) {
+	if err := sim.ForEachErrProgress(len(latitudesDeg), func(li int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		site := orbit.NewGeodeticDeg(latitudesDeg[li], 0, 0)
 		var passes []orbit.Pass
 		for _, eph := range ephs {
@@ -75,7 +91,8 @@ func RevisitAnalysis(cons constellation.Constellation, latitudesDeg []float64, s
 			stats.MeanGap = sum / time.Duration(len(gaps))
 		}
 		out[li] = stats
-	}); err != nil {
+		return nil
+	}, progress.phase("latitudes")); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/constellation"
+	"github.com/sinet-io/sinet/internal/fault"
+)
+
+// smallPassiveResult runs the cheapest real passive campaign: the JSON
+// round-trip tests exercise actual populated results, not hand-built stubs,
+// so every nested type (trace records, contact stats, availability rows)
+// proves serializable.
+func smallPassiveResult(t *testing.T) *PassiveResult {
+	t.Helper()
+	start := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	site, _ := SiteByCode("HK")
+	res, err := RunPassive(PassiveConfig{
+		Seed:           7,
+		Start:          start,
+		Days:           1,
+		Sites:          []Site{site},
+		Constellations: []constellation.Constellation{constellation.FOSSA(start)},
+		Faults: &fault.Config{
+			StationMTBF: 12 * time.Hour,
+			StationMTTR: 2 * time.Hour,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPassiveResultJSONRoundTrip(t *testing.T) {
+	res := smallPassiveResult(t)
+	if len(res.Dataset.Records) == 0 || len(res.Contacts) == 0 || len(res.Availability) == 0 {
+		t.Fatalf("campaign too empty to prove a round-trip: %d records, %d contacts, %d availability rows",
+			len(res.Dataset.Records), len(res.Contacts), len(res.Availability))
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PassiveResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Scheduler, Weather and Progress are json:"-" (interfaces and funcs
+	// cannot round-trip); null them out on the original before comparing.
+	res.Config.Scheduler = nil
+	res.Config.Weather = nil
+	res.Config.Progress = nil
+	if !reflect.DeepEqual(res, &back) {
+		t.Fatal("passive result changed across marshal/unmarshal")
+	}
+	// Marshalling must be deterministic: the content-addressed cache in
+	// internal/service depends on equal results producing equal bytes.
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatal("re-marshalling the round-tripped result moved bytes")
+	}
+}
+
+func TestActiveResultJSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a one-day active campaign")
+	}
+	res, err := RunActive(ActiveConfig{Seed: 11, Days: 1, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packets) == 0 || len(res.Meters) == 0 {
+		t.Fatalf("campaign too empty to prove a round-trip: %d packets, %d meters", len(res.Packets), len(res.Meters))
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ActiveResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	res.Config.Weather = nil
+	res.Config.Progress = nil
+	if !reflect.DeepEqual(res, &back) {
+		t.Fatal("active result changed across marshal/unmarshal")
+	}
+	// The energy meters carry unexported state behind an explicit codec;
+	// prove the accounting survived, not just the struct shape.
+	for id, m := range res.Meters {
+		got, ok := back.Meters[id]
+		if !ok {
+			t.Fatalf("meter %s lost in round-trip", id)
+		}
+		if got.TotalEnergyMJ() != m.TotalEnergyMJ() {
+			t.Fatalf("meter %s energy %v != %v after round-trip", id, got.TotalEnergyMJ(), m.TotalEnergyMJ())
+		}
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatal("re-marshalling the round-tripped result moved bytes")
+	}
+}

@@ -29,8 +29,9 @@ type PassiveConfig struct {
 	// Constellations to measure (defaults to all four).
 	Constellations []constellation.Constellation
 	// Scheduler decides station-satellite tuning (defaults to the paper's
-	// customized tracking scheduler).
-	Scheduler groundstation.Scheduler
+	// customized tracking scheduler). Excluded from JSON: scheduler choice
+	// is behaviour, not data, and cannot round-trip through an interface.
+	Scheduler groundstation.Scheduler `json:"-"`
 	// MinElevationRad is the theoretical-visibility mask (default 0°,
 	// matching TLE-based presence computations).
 	MinElevationRad float64
@@ -42,8 +43,9 @@ type PassiveConfig struct {
 	// Weather pins the sky state for controlled experiments; nil uses
 	// each site's stochastic weather process. A non-nil provider is shared
 	// by concurrent site workers and must be safe for concurrent reads
-	// (the built-in providers are: their state is precomputed).
-	Weather WeatherProvider
+	// (the built-in providers are: their state is precomputed). Excluded
+	// from JSON for the same reason as Scheduler.
+	Weather WeatherProvider `json:"-"`
 	// Radio overrides the station-side LoRa parameters; nil uses the DtS
 	// defaults. Validated up front so illegal SF/BW combinations are
 	// rejected before the campaign runs.
@@ -53,6 +55,10 @@ type PassiveConfig struct {
 	// available infrastructure and reproduces pre-fault results
 	// byte-identically.
 	Faults *fault.Config
+	// Progress observes the campaign's phases ("ephemeris", then
+	// "contacts") as their fan-outs complete; nil observes nothing. It
+	// never influences results and is excluded from serialization.
+	Progress ProgressFunc `json:"-"`
 }
 
 func (c *PassiveConfig) setDefaults() {
@@ -230,7 +236,7 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 			sats = append(sats, satRef{ci, si})
 		}
 	}
-	if err := sim.ForEachErr(len(sats), func(i int) error {
+	if err := sim.ForEachErrProgress(len(sats), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -238,7 +244,7 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 		cc := &consCtxs[ref.ci]
 		cc.ephs[ref.si] = orbit.NewEphemeris(cc.props[ref.si], cfg.Start, end, cfg.CoarseStep)
 		return nil
-	}); err != nil {
+	}, cfg.Progress.phase("ephemeris")); err != nil {
 		return nil, err
 	}
 
@@ -254,12 +260,12 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 		}
 	}
 	units := make([]*passiveUnit, len(pairs))
-	if err := sim.ForEachErr(len(pairs), func(i int) error {
+	if err := sim.ForEachErrProgress(len(pairs), func(i int) error {
 		p := pairs[i]
 		u, err := runPassiveSiteConstellation(ctx, cfg, p.s.site, p.s.stations, p.c, p.s.weather, p.s.start, end, p.s.outages)
 		units[i] = u
 		return err
-	}); err != nil {
+	}, cfg.Progress.phase("contacts")); err != nil {
 		return nil, err
 	}
 	for _, u := range units {

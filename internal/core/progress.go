@@ -1,0 +1,30 @@
+package core
+
+// ProgressFunc observes a campaign's execution phases: it is called with a
+// short phase name and the completed/total unit counts of that phase.
+// Callbacks arrive serialized (never concurrently) with completed strictly
+// increasing within a phase, so implementations need no locking of their
+// own; they must not block, since they run on the campaign's worker pool.
+//
+// Attach one to PassiveConfig.Progress / ActiveConfig.Progress. The field
+// is excluded from JSON serialization and from any config-derived cache
+// keys: it observes execution, it does not parameterize it.
+type ProgressFunc func(phase string, completed, total int)
+
+// phaseProgress adapts a ProgressFunc to the sim.ForEachErrProgress
+// callback shape for one named phase; a nil ProgressFunc yields a nil
+// callback, keeping the fan-out's fast path free of indirection.
+func (p ProgressFunc) phase(name string) func(completed, total int) {
+	if p == nil {
+		return nil
+	}
+	return func(completed, total int) { p(name, completed, total) }
+}
+
+// report invokes p when non-nil, for one-shot phase notifications outside
+// a fan-out (e.g. marking a simulation phase started or finished).
+func (p ProgressFunc) report(phase string, completed, total int) {
+	if p != nil {
+		p(phase, completed, total)
+	}
+}

@@ -7,6 +7,7 @@
 package energy
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 )
@@ -124,6 +125,43 @@ func (m *Meter) Transition(next Mode, at time.Time) {
 
 // Finish closes the last interval at time at.
 func (m *Meter) Finish(at time.Time) { m.Transition(m.mode, at) }
+
+// meterJSON is the serialized form of a Meter. The meter's fields stay
+// unexported (its invariants live in Transition), so API serialization
+// goes through an explicit codec instead of silently flattening to "{}".
+type meterJSON struct {
+	Profile  Profile                 `json:"profile"`
+	Mode     Mode                    `json:"mode"`
+	Since    time.Time               `json:"since"`
+	TimeIn   [numModes]time.Duration `json:"time_in"`
+	EnergyMJ [numModes]float64       `json:"energy_mj"`
+}
+
+// MarshalJSON implements json.Marshaler, capturing the full meter state so
+// a round trip is lossless.
+func (m *Meter) MarshalJSON() ([]byte, error) {
+	return json.Marshal(meterJSON{
+		Profile:  m.profile,
+		Mode:     m.mode,
+		Since:    m.since,
+		TimeIn:   m.timeIn,
+		EnergyMJ: m.energyMJ,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, the inverse of MarshalJSON.
+func (m *Meter) UnmarshalJSON(data []byte) error {
+	var v meterJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	m.profile = v.Profile
+	m.mode = v.Mode
+	m.since = v.Since
+	m.timeIn = v.TimeIn
+	m.energyMJ = v.EnergyMJ
+	return nil
+}
 
 // TimeIn returns the accumulated time in mode mo.
 func (m *Meter) TimeIn(mo Mode) time.Duration { return m.timeIn[mo] }

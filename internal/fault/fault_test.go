@@ -183,3 +183,46 @@ func TestValidate(t *testing.T) {
 		}
 	}
 }
+
+func TestAvailabilityEmptyScheduleIsExactlyOne(t *testing.T) {
+	var s Schedule
+	if got := s.Availability(campStart, campEnd); got != 1 {
+		t.Fatalf("empty schedule availability = %v, want exactly 1", got)
+	}
+	// Degenerate spans must not divide by zero: both orders return 1.
+	if got := s.Availability(campStart, campStart); got != 1 {
+		t.Fatalf("zero-span availability = %v, want 1", got)
+	}
+	if got := s.Availability(campEnd, campStart); got != 1 {
+		t.Fatalf("negative-span availability = %v, want 1", got)
+	}
+}
+
+func TestAvailabilityFullOutageIsExactlyZero(t *testing.T) {
+	// Maintenance covering the whole window (and spilling past both edges)
+	// leaves no up time: the fraction must be exactly 0, not merely small.
+	cfg := Config{Maintenance: []orbit.Window{{
+		Start: campStart.Add(-time.Hour),
+		End:   campEnd.Add(time.Hour),
+	}}}
+	s := cfg.StationSchedule(1, "gs", campStart, campEnd)
+	if got := s.Availability(campStart, campEnd); got != 0 {
+		t.Fatalf("fully-covered window availability = %v, want exactly 0", got)
+	}
+	if !s.Down(campStart) || !s.Down(campEnd.Add(-time.Second)) {
+		t.Fatal("schedule not down across the window")
+	}
+	if got := s.DownTime(campStart, campEnd); got != campEnd.Sub(campStart) {
+		t.Fatalf("downtime = %v, want the full span %v", got, campEnd.Sub(campStart))
+	}
+}
+
+func TestAvailabilityDegenerateSpanWithOutages(t *testing.T) {
+	cfg := Config{Maintenance: []orbit.Window{{Start: campStart, End: campEnd}}}
+	s := cfg.StationSchedule(1, "gs", campStart, campEnd)
+	// Even a fully-down schedule reports 1 for an empty span — the
+	// convention core.PassiveResult relies on to avoid NaN in reports.
+	if got := s.Availability(campStart, campStart); got != 1 {
+		t.Fatalf("zero-span availability on down schedule = %v, want 1", got)
+	}
+}

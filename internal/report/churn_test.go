@@ -1,0 +1,77 @@
+package report
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChurnSummaryEmptyRowsRendersNotice(t *testing.T) {
+	var out strings.Builder
+	if err := ChurnSummary(&out, nil); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "no station churn configured") {
+		t.Fatalf("empty rows did not render the off notice:\n%s", text)
+	}
+	// len(rows)==0 must short-circuit before the mean: sum/0 would be NaN.
+	if strings.Contains(text, "NaN") {
+		t.Fatalf("empty summary produced NaN:\n%s", text)
+	}
+	if strings.Contains(text, "fleet mean") {
+		t.Fatalf("empty summary rendered a fleet mean:\n%s", text)
+	}
+}
+
+func TestChurnSummarySingleStationMeanIsItsUptime(t *testing.T) {
+	var out strings.Builder
+	rows := []ChurnRow{{Station: "gs-HK", Site: "HK", Uptime: 0.875, Outages: 3, Downtime: 9 * time.Hour}}
+	if err := ChurnSummary(&out, rows); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "gs-HK") || !strings.Contains(text, "87.5") {
+		t.Fatalf("single-station row missing:\n%s", text)
+	}
+	if !strings.Contains(text, "fleet mean availability") || !strings.Contains(text, "0.875") {
+		t.Fatalf("single-station mean must equal its uptime:\n%s", text)
+	}
+}
+
+func TestChurnRowJSONRoundTrip(t *testing.T) {
+	rows := []ChurnRow{
+		{Station: "gs-HK", Site: "HK", Uptime: 0.875, Outages: 3, Downtime: 9 * time.Hour},
+		{Station: "gs-SYD", Site: "SYD", Uptime: 0, Outages: 1, Downtime: 24 * time.Hour},
+	}
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []ChurnRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, back) {
+		t.Fatalf("churn rows changed across marshal/unmarshal:\n%+v\nvs\n%+v", rows, back)
+	}
+}
+
+func TestChurnSummaryTotalOutageStation(t *testing.T) {
+	// A station down for the whole window reports uptime exactly 0 — the
+	// row and the mean must render as finite zeros, not NaN or -0.
+	var out strings.Builder
+	rows := []ChurnRow{{Station: "gs-SYD", Site: "SYD", Uptime: 0, Outages: 1, Downtime: 24 * time.Hour}}
+	if err := ChurnSummary(&out, rows); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if strings.Contains(text, "NaN") || strings.Contains(text, "-0") {
+		t.Fatalf("total outage rendered badly:\n%s", text)
+	}
+	if !strings.Contains(text, "gs-SYD") {
+		t.Fatalf("row missing:\n%s", text)
+	}
+}

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkConfigKey measures the full admission-path canonicalization:
+// normalize a sparse spec, validate it, and hash the canonical form. This
+// runs once per submission, cache hit or not, so it bounds submit latency.
+func BenchmarkConfigKey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{Seed: 7}}
+		if _, err := ConfigKey(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConfigKeyNormalized measures re-keying an already-canonical
+// spec — the marginal cost when the caller retains the normalized form.
+func BenchmarkConfigKeyNormalized(b *testing.B) {
+	spec := &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{Seed: 7}}
+	if _, err := ConfigKey(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ConfigKey(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheHit measures a warm lookup on a populated cache — the cost
+// a repeated submission pays instead of a simulation.
+func BenchmarkCacheHit(b *testing.B) {
+	c := NewCache(64 << 20)
+	data := bytes.Repeat([]byte("r"), 24<<10) // ~a passive-result payload
+	var keys []Key
+	for i := 0; i < 256; i++ {
+		k := Key(fmt.Sprintf("%064d", i))
+		keys = append(keys, k)
+		c.Put(k, data)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}

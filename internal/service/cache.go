@@ -1,0 +1,107 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: serialized campaign results
+// keyed by ConfigKey, evicted least-recently-used against a byte budget.
+// Entries are immutable once stored (callers must not mutate returned
+// slices), so hits are zero-copy. Safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	size   int64
+	ll     *list.List // front = most recently used
+	items  map[Key]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  Key
+	data []byte
+}
+
+// NewCache creates a cache bounded to budget bytes of stored results.
+// A budget <= 0 yields a disabled cache: every Get misses, every Put is
+// dropped — the configuration the golden smoke test runs under.
+func NewCache(budget int64) *Cache {
+	return &Cache{budget: budget, ll: list.New(), items: map[Key]*list.Element{}}
+}
+
+// Get returns the cached result bytes for key, marking it recently used.
+func (c *Cache) Get(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put stores the result bytes under key, evicting least-recently-used
+// entries until the byte budget holds. An entry larger than the whole
+// budget is not stored at all (it would evict everything for one tenant),
+// and re-putting an existing key refreshes its recency without resizing.
+func (c *Cache) Put(key Key, data []byte) {
+	if int64(len(data)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Same key means same content (the key is a content address), so
+		// only the recency changes.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.size += int64(len(data))
+	for c.size > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.size -= int64(len(ent.data))
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time cache health snapshot.
+type CacheStats struct {
+	Entries     int     `json:"entries"`
+	Bytes       int64   `json:"bytes"`
+	BudgetBytes int64   `json:"budget_bytes"`
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	Evictions   uint64  `json:"evictions"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
+// Stats returns current counters. HitRate is 0 (not NaN) before the first
+// lookup, so the stats endpoint always serializes cleanly.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Entries:     len(c.items),
+		Bytes:       c.size,
+		BudgetBytes: c.budget,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+	}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRate = float64(c.hits) / float64(total)
+	}
+	return s
+}

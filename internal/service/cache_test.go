@@ -1,0 +1,105 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(1 << 10)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", []byte("result-a"))
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got, []byte("result-a")) {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Bytes != 8 {
+		t.Fatalf("stats after one miss + one hit: %+v", s)
+	}
+}
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	// Budget fits exactly two 4-byte entries.
+	c := NewCache(8)
+	c.Put("a", []byte("aaaa"))
+	c.Put("b", []byte("bbbb"))
+	// Touch a so b is the LRU entry when c arrives.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", []byte("cccc"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived but was least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite being recently used")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("newest entry c missing")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Bytes != 8 {
+		t.Fatalf("stats after eviction: %+v", s)
+	}
+}
+
+func TestCacheRejectsOversizedEntry(t *testing.T) {
+	c := NewCache(4)
+	c.Put("big", []byte("too large to store"))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("entry larger than the whole budget was stored")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("oversized put changed accounting: %+v", s)
+	}
+}
+
+func TestCacheRePutRefreshesRecencyOnly(t *testing.T) {
+	c := NewCache(8)
+	c.Put("a", []byte("aaaa"))
+	c.Put("b", []byte("bbbb"))
+	// Re-put a: same content address, so only recency moves.
+	c.Put("a", []byte("aaaa"))
+	c.Put("c", []byte("cccc"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("re-put entry evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been the eviction victim")
+	}
+	if s := c.Stats(); s.Bytes != 8 {
+		t.Fatalf("re-put changed the byte accounting: %+v", s)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", []byte("x"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestCacheStatsHitRateNeverNaN(t *testing.T) {
+	s := NewCache(16).Stats()
+	if s.HitRate != s.HitRate || s.HitRate != 0 {
+		t.Fatalf("fresh cache HitRate = %v, want 0", s.HitRate)
+	}
+}
+
+func TestCacheManyEntriesStayWithinBudget(t *testing.T) {
+	c := NewCache(100)
+	for i := 0; i < 50; i++ {
+		c.Put(Key(fmt.Sprintf("k%02d", i)), bytes.Repeat([]byte{byte(i)}, 10))
+	}
+	s := c.Stats()
+	if s.Bytes > 100 {
+		t.Fatalf("cache holds %d bytes over the 100-byte budget", s.Bytes)
+	}
+	if s.Entries != 10 {
+		t.Fatalf("expected exactly 10 resident entries, got %d", s.Entries)
+	}
+}

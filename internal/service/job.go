@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position. The machine is
+// queued → running → done|failed|canceled, with queued → canceled allowed
+// (cancel before a worker picks the job up) and done reachable directly at
+// submission for cache hits.
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one progress/state notification streamed over SSE.
+type Event struct {
+	JobID     string `json:"id"`
+	State     State  `json:"state"`
+	Phase     string `json:"phase,omitempty"`
+	Completed int    `json:"completed,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+}
+
+// JobView is the API representation of a job.
+type JobView struct {
+	ID          string     `json:"id"`
+	Key         string     `json:"key"`
+	Kind        string     `json:"kind"`
+	State       State      `json:"state"`
+	Cached      bool       `json:"cached"`
+	Error       string     `json:"error,omitempty"`
+	Phase       string     `json:"phase,omitempty"`
+	Completed   int        `json:"completed,omitempty"`
+	Total       int        `json:"total,omitempty"`
+	CreatedAt   time.Time  `json:"created_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	ResultBytes int        `json:"result_bytes"`
+}
+
+// Job is one submitted campaign. All mutable state is guarded by mu; the
+// result bytes are immutable once the job is terminal.
+type Job struct {
+	ID   string
+	Key  Key
+	Spec *JobSpec
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	cached    bool
+	result    []byte
+	phase     string
+	completed int
+	total     int
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	cancelRequested bool
+	cancel          context.CancelFunc
+
+	doneCh chan struct{}
+	subs   map[chan Event]struct{}
+}
+
+func newJob(id string, key Key, spec *JobSpec) *Job {
+	return &Job{
+		ID:      id,
+		Key:     key,
+		Spec:    spec,
+		state:   StateQueued,
+		created: time.Now().UTC(),
+		doneCh:  make(chan struct{}),
+		subs:    map[chan Event]struct{}{},
+	}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// State returns the current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the serialized result and whether the job is done.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == StateDone
+}
+
+// View snapshots the job for the API.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.ID,
+		Key:         string(j.Key),
+		Kind:        j.Spec.Kind,
+		State:       j.state,
+		Cached:      j.cached,
+		Error:       j.err,
+		Phase:       j.phase,
+		Completed:   j.completed,
+		Total:       j.total,
+		CreatedAt:   j.created,
+		ResultBytes: len(j.result),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// event builds the notification for the current state; callers hold mu.
+func (j *Job) eventLocked() Event {
+	return Event{
+		JobID:     j.ID,
+		State:     j.state,
+		Phase:     j.phase,
+		Completed: j.completed,
+		Total:     j.total,
+		Error:     j.err,
+		Cached:    j.cached,
+	}
+}
+
+// publishLocked fans the current state out to subscribers without
+// blocking: a subscriber that cannot keep up loses intermediate progress
+// events but never the terminal one — SSE streams watch Done() as well.
+func (j *Job) publishLocked() {
+	ev := j.eventLocked()
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Subscribe registers for state/progress events. The returned cancel must
+// be called to release the subscription.
+func (j *Job) Subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 16)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// setProgress records phase progress and notifies subscribers.
+func (j *Job) setProgress(phase string, completed, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return
+	}
+	j.phase = phase
+	j.completed = completed
+	j.total = total
+	j.publishLocked()
+}
+
+// begin moves the job to running and derives its cancellable context from
+// base. It returns false when the job is no longer runnable (canceled
+// while queued), leaving the worker free for the next job.
+func (j *Job) begin(base context.Context) (context.Context, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return nil, false
+	}
+	ctx, cancel := context.WithCancel(base)
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	j.cancel = cancel
+	if j.cancelRequested {
+		// Cancel raced the pickup: run with an already-cancelled context so
+		// the campaign aborts on its first check.
+		cancel()
+	}
+	j.publishLocked()
+	return ctx, true
+}
+
+// requestCancel asks the job to stop. A queued job cancels immediately; a
+// running one has its context cancelled and reaches the canceled state
+// when the campaign unwinds. Terminal jobs are unaffected.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == StateQueued:
+		j.finishLocked(StateCanceled, nil, context.Canceled.Error(), false)
+	case j.state == StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// CancelRequested reports whether a cancel was asked for while running.
+func (j *Job) CancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelRequested
+}
+
+// finish moves the job to a terminal state.
+func (j *Job) finish(state State, result []byte, errText string, cached bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(state, result, errText, cached)
+}
+
+func (j *Job) finishLocked(state State, result []byte, errText string, cached bool) {
+	if j.state.Terminal() {
+		return
+	}
+	if j.cancel != nil {
+		// Release the context even on success/failure paths.
+		j.cancel()
+	}
+	j.state = state
+	j.result = result
+	j.err = errText
+	j.cached = cached
+	j.finished = time.Now().UTC()
+	j.phase = ""
+	j.publishLocked()
+	close(j.doneCh)
+}

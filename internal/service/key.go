@@ -1,0 +1,45 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// keyVersion salts every ConfigKey so cache entries from incompatible
+// serialization or simulation revisions can never alias.
+const keyVersion = "sinetd/v1"
+
+// Key is a content address for a campaign: the hash of the canonical
+// (normalized) JobSpec, including the seed. Equal keys mean equal
+// simulations — equal results bytes — which is what makes in-flight
+// dedup and the result cache sound.
+type Key string
+
+// ConfigKey canonicalizes and hashes the spec. The spec is normalized in
+// place (defaults made explicit) so sparse and fully-written requests for
+// the same campaign collide, then hashed over its canonical JSON: struct
+// field order is fixed, so the encoding — and the key — is deterministic.
+func ConfigKey(spec *JobSpec) (Key, error) {
+	if err := spec.Normalize(); err != nil {
+		return "", err
+	}
+	canonical, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("service: canonicalize spec: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(keyVersion))
+	h.Write([]byte{0})
+	h.Write(canonical)
+	return Key(hex.EncodeToString(h.Sum(nil))), nil
+}
+
+// Short returns an abbreviated key for IDs and logs.
+func (k Key) Short() string {
+	if len(k) <= 12 {
+		return string(k)
+	}
+	return string(k[:12])
+}

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestConfigKeySparseAndExplicitDefaultsCollide(t *testing.T) {
+	// The canonicalization contract: a sparse spec and one spelling out the
+	// library defaults are the same request and must content-address alike.
+	sparse := &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{Seed: 7}}
+	explicit := &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{
+		Seed:           7,
+		Start:          time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC),
+		Days:           1,
+		Sites:          []string{"hk", "syd", "ldn", "pgh"}, // case-insensitive
+		Constellations: []string{"tianqi", "fossa", "pico", "cstp"},
+		Scheduler:      "TRACKING",
+		CoarseStep:     Duration(60 * time.Second),
+	}}
+	k1, err := ConfigKey(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ConfigKey(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("sparse key %s != explicit-defaults key %s", k1, k2)
+	}
+}
+
+func TestConfigKeySeparatesDistinctSpecs(t *testing.T) {
+	base := func() *JobSpec { return &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{Seed: 7}} }
+	k0, err := ConfigKey(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]*JobSpec{
+		"seed":  {Kind: KindPassive, Passive: &PassiveSpec{Seed: 8}},
+		"days":  {Kind: KindPassive, Passive: &PassiveSpec{Seed: 7, Days: 2}},
+		"sites": {Kind: KindPassive, Passive: &PassiveSpec{Seed: 7, Sites: []string{"HK"}}},
+		"kind":  {Kind: KindCoverage},
+	}
+	for name, spec := range mutations {
+		k, err := ConfigKey(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == k0 {
+			t.Errorf("%s: distinct spec collided with the base key", name)
+		}
+	}
+}
+
+func TestConfigKeyIsIdempotent(t *testing.T) {
+	spec := &JobSpec{Kind: KindActive, Active: &ActiveSpec{Seed: 3}}
+	k1, err := ConfigKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first call normalized spec in place; hashing the now-explicit spec
+	// must not move the key.
+	k2, err := ConfigKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("re-keying a normalized spec moved the key: %s -> %s", k1, k2)
+	}
+}
+
+func TestConfigKeyRejectsBadSpecs(t *testing.T) {
+	bad := []*JobSpec{
+		{},
+		{Kind: "warp"},
+		{Kind: KindPassive, Passive: &PassiveSpec{Sites: []string{"ATLANTIS"}}},
+		{Kind: KindPassive, Passive: &PassiveSpec{Days: maxDays + 1}},
+		{Kind: KindPassive, Passive: &PassiveSpec{}, Active: &ActiveSpec{}},
+	}
+	for i, spec := range bad {
+		if _, err := ConfigKey(spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("spec %d: error %v does not wrap ErrBadSpec", i, err)
+		}
+	}
+}
+
+func TestKeyShort(t *testing.T) {
+	k, err := ConfigKey(&JobSpec{Kind: KindCoverage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Short()) != 12 {
+		t.Fatalf("Short() = %q, want 12 hex chars", k.Short())
+	}
+}

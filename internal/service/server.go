@@ -1,0 +1,477 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/core"
+)
+
+// Admission errors mapped to HTTP statuses by the handler layer.
+var (
+	// ErrDraining rejects new work during graceful shutdown (503).
+	ErrDraining = errors.New("service: draining, not accepting new jobs")
+	// ErrQueueFull is the backpressure signal for a saturated queue (429).
+	ErrQueueFull = errors.New("service: job queue full")
+)
+
+// RunnerFunc executes a normalized spec. The default is Run; tests inject
+// controllable fakes to exercise queueing, cancellation and shutdown
+// without simulating orbits.
+type RunnerFunc func(ctx context.Context, spec *JobSpec, progress core.ProgressFunc) (any, error)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	// Each worker runs one campaign at a time; the campaign itself fans
+	// out internally via sim.ForEach.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker
+	// (default 64). A full queue rejects submissions with ErrQueueFull.
+	QueueDepth int
+	// CacheBytes is the result cache budget; <= 0 disables caching
+	// entirely (every submission recomputes), the mode the golden smoke
+	// comparison runs in.
+	CacheBytes int64
+	// Runner overrides the campaign executor (nil = Run).
+	Runner RunnerFunc
+}
+
+// Server is the campaign-serving engine: registry, bounded queue, worker
+// pool, result cache and the HTTP API over them.
+type Server struct {
+	cfg    Config
+	cache  *Cache
+	runner RunnerFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[Key]*Job // queued or running, by content key
+	draining bool
+	seq      uint64
+
+	queue      chan *Job
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	wg         sync.WaitGroup
+
+	simulations atomic.Uint64
+	started     time.Time
+}
+
+// New builds and starts a server: its workers are consuming the queue when
+// New returns. Stop it with Shutdown.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = Run
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      NewCache(cfg.CacheBytes),
+		runner:     cfg.Runner,
+		jobs:       map[string]*Job{},
+		inflight:   map[Key]*Job{},
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		started:    time.Now().UTC(),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits one spec: it is normalized, keyed, deduped against
+// in-flight identical jobs, answered from the cache when possible, and
+// otherwise queued. deduped reports whether an existing in-flight job was
+// returned instead of a new one.
+func (s *Server) Submit(spec *JobSpec) (job *Job, deduped bool, err error) {
+	key, err := ConfigKey(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	// Singleflight: identical submissions while one is queued or running
+	// attach to that execution — N clients, one simulation.
+	if existing, ok := s.inflight[key]; ok {
+		return existing, true, nil
+	}
+	s.seq++
+	id := fmt.Sprintf("j%06d-%s", s.seq, key.Short())
+	j := newJob(id, key, spec)
+	if data, ok := s.cache.Get(key); ok {
+		// Content-addressed hit: the job is born terminal with the cached
+		// bytes; no queue slot, no worker, no simulation.
+		j.finish(StateDone, data, "", true)
+		s.jobs[id] = j
+		return j, false, nil
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return nil, false, ErrQueueFull
+	}
+	s.jobs[id] = j
+	s.inflight[key] = j
+	return j, false, nil
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job by ID.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, false
+	}
+	j.requestCancel()
+	s.forgetInflight(j)
+	return j, true
+}
+
+// forgetInflight drops the job from the dedup index once it can no longer
+// satisfy new submissions (terminal, or cancel requested — attaching new
+// clients to a dying job would hand them a canceled result they never
+// asked to share).
+func (s *Server) forgetInflight(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.inflight[j.Key]; ok && cur == j {
+		delete(s.inflight, j.Key)
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.execute(j)
+		}
+	}
+}
+
+func (s *Server) execute(j *Job) {
+	defer s.forgetInflight(j)
+	ctx, ok := j.begin(s.baseCtx)
+	if !ok {
+		return
+	}
+	s.simulations.Add(1)
+	res, err := s.runner(ctx, j.Spec, j.setProgress)
+	if err != nil {
+		if errors.Is(err, context.Canceled) && (j.CancelRequested() || s.baseCtx.Err() != nil) {
+			j.finish(StateCanceled, nil, context.Canceled.Error(), false)
+		} else {
+			j.finish(StateFailed, nil, err.Error(), false)
+		}
+		return
+	}
+	data, err := MarshalResult(res)
+	if err != nil {
+		j.finish(StateFailed, nil, fmt.Sprintf("serialize result: %v", err), false)
+		return
+	}
+	s.cache.Put(j.Key, data)
+	j.finish(StateDone, data, "", false)
+}
+
+// Shutdown drains the server gracefully: new submissions are refused with
+// ErrDraining (503), every queued job is canceled, running campaigns have
+// their contexts cancelled so they unwind with context.Canceled, and the
+// workers are awaited up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cancelBase()
+	// Drain whatever is still queued; workers racing this loop mark the
+	// same jobs canceled through the already-dead base context, so both
+	// paths converge on the canceled terminal state.
+	for {
+		select {
+		case j := <-s.queue:
+			j.requestCancel()
+			s.forgetInflight(j)
+			continue
+		default:
+		}
+		break
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Uptime        string        `json:"uptime"`
+	Workers       int           `json:"workers"`
+	QueueDepth    int           `json:"queue_depth"`
+	QueueCapacity int           `json:"queue_capacity"`
+	Draining      bool          `json:"draining"`
+	Simulations   uint64        `json:"simulations"`
+	JobsByState   map[State]int `json:"jobs_by_state"`
+	Cache         CacheStats    `json:"cache"`
+}
+
+// Stats snapshots serving health: queue depth, jobs by state, cache hit
+// rate, simulations executed.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	byState := make(map[State]int, 5)
+	for _, j := range s.jobs {
+		byState[j.State()]++
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	return Stats{
+		Uptime:        time.Since(s.started).Round(time.Millisecond).String(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Draining:      draining,
+		Simulations:   s.simulations.Load(),
+		JobsByState:   byState,
+		Cache:         s.cache.Stats(),
+	}
+}
+
+// --- HTTP layer ---------------------------------------------------------
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs             submit a JobSpec        → 202 JobView (+deduped)
+//	GET    /v1/jobs/{id}        job status              → 200 JobView
+//	GET    /v1/jobs/{id}/result terminal result bytes   → 200 raw JSON
+//	DELETE /v1/jobs/{id}        cancel                  → 202 JobView
+//	GET    /v1/jobs/{id}/events SSE progress stream     → text/event-stream
+//	GET    /v1/stats            serving health          → 200 Stats
+//	GET    /healthz             liveness                → 200 always
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// SubmitResponse is the POST /v1/jobs payload: the job plus whether the
+// submission attached to an existing in-flight execution.
+type SubmitResponse struct {
+	JobView
+	Deduped bool `json:"deduped"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return
+	}
+	job, deduped, err := s.Submit(&spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrBadSpec):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{JobView: job.View(), Deduped: deduped})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	data, done := job.Result()
+	if !done {
+		view := job.View()
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": "job has no result", "state": view.State, "job_error": view.Error,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	ch, unsubscribe := job.Subscribe()
+	defer unsubscribe()
+	// Initial snapshot so late subscribers see where the job stands.
+	snapshot := func() Event {
+		v := job.View()
+		return Event{JobID: v.ID, State: v.State, Phase: v.Phase, Completed: v.Completed, Total: v.Total, Error: v.Error, Cached: v.Cached}
+	}
+	first := snapshot()
+	if !writeEvent(first) || first.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if !writeEvent(ev) {
+				return
+			}
+			if ev.State.Terminal() {
+				return
+			}
+		case <-job.Done():
+			// Drain any buffered events, then emit the terminal snapshot:
+			// dropped intermediate events never cost the client the ending.
+			for {
+				select {
+				case ev := <-ch:
+					if !writeEvent(ev) {
+						return
+					}
+					if ev.State.Terminal() {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			writeEvent(snapshot())
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleHealthz is liveness, deliberately decoupled from backpressure: a
+// saturated queue is a healthy server saying "not now", so /healthz stays
+// 200 under load (and during drain, where it reports the phase).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}

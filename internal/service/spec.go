@@ -1,0 +1,638 @@
+// Package service is the campaign-serving layer behind cmd/sinetd: it
+// turns the one-shot simulation library into long-lived infrastructure.
+// Campaign requests arrive as JSON JobSpecs, are canonicalized and hashed
+// into content-addressed ConfigKeys, executed on a bounded worker pool with
+// admission control, and their results cached so identical submissions —
+// concurrent or later — cost one simulation.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/backhaul"
+	"github.com/sinet-io/sinet/internal/channel"
+	"github.com/sinet-io/sinet/internal/constellation"
+	"github.com/sinet-io/sinet/internal/core"
+	"github.com/sinet-io/sinet/internal/fault"
+	"github.com/sinet-io/sinet/internal/groundstation"
+	"github.com/sinet-io/sinet/internal/orbit"
+	"github.com/sinet-io/sinet/internal/sim"
+)
+
+// ErrBadSpec is the sentinel wrapped by every spec validation failure, so
+// the HTTP layer can map the whole family to 400 with errors.Is.
+var ErrBadSpec = errors.New("service: invalid job spec")
+
+func specErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+}
+
+// Job kinds accepted by the API.
+const (
+	KindPassive  = "passive"
+	KindActive   = "active"
+	KindCoverage = "coverage"
+	KindBackhaul = "backhaul"
+)
+
+// Serving-side admission bounds: a daemon serving many clients must bound
+// the work one request can demand. These are generous for every workload
+// in EXPERIMENTS.md; campaigns beyond them belong in the offline CLIs.
+const (
+	maxDays      = 370
+	maxLatitudes = 181
+	maxNodes     = 256
+	maxSweepLen  = 64
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("72h30m") and unmarshals from either that form or raw nanoseconds, so
+// hand-written curl bodies and round-tripped JSON both parse.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("service: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("service: duration must be a string like \"30m\" or integer nanoseconds")
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// JobSpec is one campaign request: a kind plus exactly the matching
+// parameter section. The zero values of every section field mean "use the
+// library default"; Normalize makes those defaults explicit so equal
+// requests — however sparsely written — canonicalize to equal ConfigKeys.
+type JobSpec struct {
+	Kind     string        `json:"kind"`
+	Passive  *PassiveSpec  `json:"passive,omitempty"`
+	Active   *ActiveSpec   `json:"active,omitempty"`
+	Coverage *CoverageSpec `json:"coverage,omitempty"`
+	Backhaul *BackhaulSpec `json:"backhaul,omitempty"`
+}
+
+// WindowSpec is one maintenance window.
+type WindowSpec struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// FaultSpec mirrors fault.Config in API form.
+type FaultSpec struct {
+	StationMTBF Duration     `json:"station_mtbf,omitempty"`
+	StationMTTR Duration     `json:"station_mttr,omitempty"`
+	DrainMTBF   Duration     `json:"drain_mtbf,omitempty"`
+	DrainMTTR   Duration     `json:"drain_mttr,omitempty"`
+	SatMTBF     Duration     `json:"sat_mtbf,omitempty"`
+	SatMTTR     Duration     `json:"sat_mttr,omitempty"`
+	Maintenance []WindowSpec `json:"maintenance,omitempty"`
+}
+
+func (f *FaultSpec) config() *fault.Config {
+	if f == nil {
+		return nil
+	}
+	cfg := &fault.Config{
+		StationMTBF: time.Duration(f.StationMTBF),
+		StationMTTR: time.Duration(f.StationMTTR),
+		DrainMTBF:   time.Duration(f.DrainMTBF),
+		DrainMTTR:   time.Duration(f.DrainMTTR),
+		SatMTBF:     time.Duration(f.SatMTBF),
+		SatMTTR:     time.Duration(f.SatMTTR),
+	}
+	for _, w := range f.Maintenance {
+		cfg.Maintenance = append(cfg.Maintenance, orbit.Window{Start: w.Start, End: w.End})
+	}
+	return cfg
+}
+
+// PassiveSpec parameterizes a §3.1 passive campaign.
+type PassiveSpec struct {
+	Seed            int64      `json:"seed"`
+	Start           time.Time  `json:"start,omitempty"`
+	Days            int        `json:"days,omitempty"`
+	Sites           []string   `json:"sites,omitempty"`
+	Constellations  []string   `json:"constellations,omitempty"`
+	Scheduler       string     `json:"scheduler,omitempty"`
+	MinElevationDeg float64    `json:"min_elevation_deg,omitempty"`
+	CoarseStep      Duration   `json:"coarse_step,omitempty"`
+	HonorSiteStart  bool       `json:"honor_site_start,omitempty"`
+	Weather         string     `json:"weather,omitempty"`
+	Faults          *FaultSpec `json:"faults,omitempty"`
+}
+
+// ActiveSpec parameterizes a §3.2 active campaign.
+type ActiveSpec struct {
+	Seed                         int64      `json:"seed"`
+	Start                        time.Time  `json:"start,omitempty"`
+	Days                         int        `json:"days,omitempty"`
+	Nodes                        int        `json:"nodes,omitempty"`
+	PayloadBytes                 int        `json:"payload_bytes,omitempty"`
+	SensePeriod                  Duration   `json:"sense_period,omitempty"`
+	MaxRetx                      int        `json:"max_retx,omitempty"`
+	AckTimeout                   Duration   `json:"ack_timeout,omitempty"`
+	AlignedPhases                bool       `json:"aligned_phases,omitempty"`
+	SleepWhenIdle                bool       `json:"sleep_when_idle,omitempty"`
+	ScheduleAwareMinElevationDeg float64    `json:"schedule_aware_min_elevation_deg,omitempty"`
+	TxGateMarginDB               float64    `json:"tx_gate_margin_db,omitempty"`
+	Antenna                      string     `json:"antenna,omitempty"`
+	Constellation                string     `json:"constellation,omitempty"`
+	Weather                      string     `json:"weather,omitempty"`
+	Faults                       *FaultSpec `json:"faults,omitempty"`
+}
+
+// CoverageSpec parameterizes a theoretical coverage/revisit sweep.
+type CoverageSpec struct {
+	Constellation string    `json:"constellation,omitempty"`
+	LatitudesDeg  []float64 `json:"latitudes_deg,omitempty"`
+	Start         time.Time `json:"start,omitempty"`
+	Days          int       `json:"days,omitempty"`
+}
+
+// BackhaulSpec parameterizes a downlink-opportunity sweep over the
+// operator's ground segment.
+type BackhaulSpec struct {
+	Constellation string    `json:"constellation,omitempty"`
+	Start         time.Time `json:"start,omitempty"`
+	Days          int       `json:"days,omitempty"`
+	Step          Duration  `json:"step,omitempty"`
+	MinDrainGap   Duration  `json:"min_drain_gap,omitempty"`
+}
+
+// BackhaulResult is a completed backhaul sweep: per satellite, the drain
+// opportunities the ground segment offers over the span.
+type BackhaulResult struct {
+	Constellation string        `json:"constellation"`
+	Start         time.Time     `json:"start"`
+	Days          int           `json:"days"`
+	Satellites    []SatBackhaul `json:"satellites"`
+}
+
+// SatBackhaul summarizes one satellite's downlink opportunities.
+type SatBackhaul struct {
+	NoradID      int           `json:"norad_id"`
+	Name         string        `json:"name"`
+	Windows      int           `json:"windows"`
+	WindowTime   time.Duration `json:"window_time"`
+	Drains       int           `json:"drains"`
+	MeanDrainGap time.Duration `json:"mean_drain_gap"`
+}
+
+var constellationNames = []string{"Tianqi", "FOSSA", "PICO", "CSTP"}
+
+func constellationByName(name string, epoch time.Time) (constellation.Constellation, error) {
+	switch strings.ToLower(name) {
+	case "tianqi":
+		return constellation.Tianqi(epoch), nil
+	case "fossa":
+		return constellation.FOSSA(epoch), nil
+	case "pico":
+		return constellation.PICO(epoch), nil
+	case "cstp":
+		return constellation.CSTP(epoch), nil
+	}
+	return constellation.Constellation{}, specErr("unknown constellation %q (one of %s)", name, strings.Join(constellationNames, ", "))
+}
+
+func weatherProvider(name string) (core.WeatherProvider, error) {
+	switch strings.ToLower(name) {
+	case "":
+		return nil, nil
+	case "sunny":
+		return core.ConstantWeather{State: channel.Sunny}, nil
+	case "cloudy":
+		return core.ConstantWeather{State: channel.Cloudy}, nil
+	case "rainy":
+		return core.ConstantWeather{State: channel.Rainy}, nil
+	case "stormy":
+		return core.ConstantWeather{State: channel.Stormy}, nil
+	}
+	return nil, specErr("unknown weather %q (sunny, cloudy, rainy, stormy, or empty for stochastic)", name)
+}
+
+// Normalize validates the spec and rewrites every defaulted field to its
+// explicit value, the canonical form ConfigKey hashes. It is idempotent.
+func (s *JobSpec) Normalize() error {
+	sections := 0
+	for _, present := range []bool{s.Passive != nil, s.Active != nil, s.Coverage != nil, s.Backhaul != nil} {
+		if present {
+			sections++
+		}
+	}
+	if sections > 1 {
+		return specErr("exactly one parameter section may be set, got %d", sections)
+	}
+	switch s.Kind {
+	case KindPassive:
+		if s.Passive == nil {
+			s.Passive = &PassiveSpec{}
+		}
+		return s.Passive.normalize()
+	case KindActive:
+		if s.Active == nil {
+			s.Active = &ActiveSpec{}
+		}
+		return s.Active.normalize()
+	case KindCoverage:
+		if s.Coverage == nil {
+			s.Coverage = &CoverageSpec{}
+		}
+		return s.Coverage.normalize()
+	case KindBackhaul:
+		if s.Backhaul == nil {
+			s.Backhaul = &BackhaulSpec{}
+		}
+		return s.Backhaul.normalize()
+	case "":
+		return specErr("kind is required (passive, active, coverage, backhaul)")
+	}
+	return specErr("unknown kind %q (passive, active, coverage, backhaul)", s.Kind)
+}
+
+func checkDays(days int) error {
+	if days < 0 {
+		return specErr("days must be non-negative, got %d", days)
+	}
+	if days > maxDays {
+		return specErr("days %d exceeds the serving limit %d", days, maxDays)
+	}
+	return nil
+}
+
+func (p *PassiveSpec) normalize() error {
+	if err := checkDays(p.Days); err != nil {
+		return err
+	}
+	if p.Days == 0 {
+		p.Days = 1
+	}
+	if p.Start.IsZero() {
+		p.Start = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	}
+	p.Start = p.Start.UTC()
+	if len(p.Sites) == 0 {
+		p.Sites = []string{"HK", "SYD", "LDN", "PGH"}
+	}
+	for i, code := range p.Sites {
+		code = strings.ToUpper(strings.TrimSpace(code))
+		if _, ok := core.SiteByCode(code); !ok {
+			return specErr("unknown site %q", p.Sites[i])
+		}
+		p.Sites[i] = code
+	}
+	if len(p.Constellations) == 0 {
+		p.Constellations = append([]string(nil), constellationNames...)
+	}
+	for i, name := range p.Constellations {
+		cons, err := constellationByName(name, p.Start)
+		if err != nil {
+			return err
+		}
+		p.Constellations[i] = cons.Name
+	}
+	switch strings.ToLower(p.Scheduler) {
+	case "", "tracking":
+		p.Scheduler = "tracking"
+	case "roundrobin":
+		p.Scheduler = "roundrobin"
+	default:
+		return specErr("unknown scheduler %q (tracking, roundrobin)", p.Scheduler)
+	}
+	if p.CoarseStep < 0 {
+		return specErr("coarse_step must be non-negative, got %v", time.Duration(p.CoarseStep))
+	}
+	if p.CoarseStep == 0 {
+		p.CoarseStep = Duration(60 * time.Second)
+	}
+	p.Weather = strings.ToLower(p.Weather)
+	if _, err := weatherProvider(p.Weather); err != nil {
+		return err
+	}
+	cfg, err := p.config()
+	if err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return nil
+}
+
+// config builds the core campaign config the spec denotes. Only Normalize-d
+// specs build configs the campaign accepts.
+func (p *PassiveSpec) config() (core.PassiveConfig, error) {
+	cfg := core.PassiveConfig{
+		Seed:            p.Seed,
+		Start:           p.Start,
+		Days:            p.Days,
+		MinElevationRad: p.MinElevationDeg * deg2Rad,
+		CoarseStep:      time.Duration(p.CoarseStep),
+		HonorSiteStart:  p.HonorSiteStart,
+		Faults:          p.Faults.config(),
+	}
+	for _, code := range p.Sites {
+		site, ok := core.SiteByCode(code)
+		if !ok {
+			return cfg, specErr("unknown site %q", code)
+		}
+		cfg.Sites = append(cfg.Sites, site)
+	}
+	for _, name := range p.Constellations {
+		cons, err := constellationByName(name, p.Start)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Constellations = append(cfg.Constellations, cons)
+	}
+	if p.Scheduler == "roundrobin" {
+		var catalog []int
+		for _, c := range cfg.Constellations {
+			for _, sat := range c.Sats {
+				catalog = append(catalog, sat.NoradID)
+			}
+		}
+		cfg.Scheduler = groundstation.RoundRobinScheduler{Catalog: catalog, Slot: 10 * time.Minute}
+	}
+	w, err := weatherProvider(p.Weather)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Weather = w
+	return cfg, nil
+}
+
+func (a *ActiveSpec) normalize() error {
+	if err := checkDays(a.Days); err != nil {
+		return err
+	}
+	if a.Days == 0 {
+		a.Days = 1
+	}
+	if a.Start.IsZero() {
+		a.Start = time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+	a.Start = a.Start.UTC()
+	if a.Nodes < 0 {
+		return specErr("nodes must be non-negative, got %d", a.Nodes)
+	}
+	if a.Nodes > maxNodes {
+		return specErr("nodes %d exceeds the serving limit %d", a.Nodes, maxNodes)
+	}
+	if a.Nodes == 0 {
+		a.Nodes = 3
+	}
+	if a.PayloadBytes == 0 {
+		a.PayloadBytes = 20
+	}
+	if a.SensePeriod == 0 {
+		a.SensePeriod = Duration(30 * time.Minute)
+	}
+	if a.MaxRetx < 0 {
+		return specErr("max_retx must be non-negative, got %d", a.MaxRetx)
+	}
+	if a.AckTimeout == 0 {
+		a.AckTimeout = Duration(3 * time.Second)
+	}
+	switch strings.ToLower(a.Antenna) {
+	case "", "fiveeighths", "5/8":
+		a.Antenna = "fiveeighths"
+	case "quarter", "1/4":
+		a.Antenna = "quarter"
+	default:
+		return specErr("unknown antenna %q (quarter, fiveeighths)", a.Antenna)
+	}
+	if a.Constellation == "" {
+		a.Constellation = "Tianqi"
+	}
+	cons, err := constellationByName(a.Constellation, a.Start)
+	if err != nil {
+		return err
+	}
+	a.Constellation = cons.Name
+	a.Weather = strings.ToLower(a.Weather)
+	if _, err := weatherProvider(a.Weather); err != nil {
+		return err
+	}
+	cfg, err := a.config()
+	if err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return nil
+}
+
+func (a *ActiveSpec) config() (core.ActiveConfig, error) {
+	cfg := core.ActiveConfig{
+		Seed:                         a.Seed,
+		Start:                        a.Start,
+		Days:                         a.Days,
+		Nodes:                        a.Nodes,
+		PayloadBytes:                 a.PayloadBytes,
+		SensePeriod:                  time.Duration(a.SensePeriod),
+		AlignedPhases:                a.AlignedPhases,
+		SleepWhenIdle:                a.SleepWhenIdle,
+		ScheduleAwareMinElevationRad: a.ScheduleAwareMinElevationDeg * deg2Rad,
+		TxGateMarginDB:               a.TxGateMarginDB,
+		Faults:                       a.Faults.config(),
+	}
+	cfg.Policy.MaxRetx = a.MaxRetx
+	cfg.Policy.AckTimeout = time.Duration(a.AckTimeout)
+	if a.Antenna == "quarter" {
+		cfg.NodeAntenna = channel.QuarterWave
+	} else {
+		cfg.NodeAntenna = channel.FiveEighthsWave
+	}
+	if !strings.EqualFold(a.Constellation, "Tianqi") {
+		cons, err := constellationByName(a.Constellation, a.Start)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Constellation = &cons
+	}
+	w, err := weatherProvider(a.Weather)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Weather = w
+	return cfg, nil
+}
+
+func (c *CoverageSpec) normalize() error {
+	if err := checkDays(c.Days); err != nil {
+		return err
+	}
+	if c.Days == 0 {
+		c.Days = 1
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	}
+	c.Start = c.Start.UTC()
+	if c.Constellation == "" {
+		c.Constellation = "Tianqi"
+	}
+	cons, err := constellationByName(c.Constellation, c.Start)
+	if err != nil {
+		return err
+	}
+	c.Constellation = cons.Name
+	if len(c.LatitudesDeg) == 0 {
+		c.LatitudesDeg = []float64{-60, -45, -30, -15, 0, 15, 30, 45, 60}
+	}
+	if len(c.LatitudesDeg) > maxLatitudes {
+		return specErr("latitudes_deg length %d exceeds the serving limit %d", len(c.LatitudesDeg), maxLatitudes)
+	}
+	for _, lat := range c.LatitudesDeg {
+		if lat < -90 || lat > 90 || lat != lat {
+			return specErr("latitude %v out of [-90, 90]", lat)
+		}
+	}
+	return nil
+}
+
+func (b *BackhaulSpec) normalize() error {
+	if err := checkDays(b.Days); err != nil {
+		return err
+	}
+	if b.Days == 0 {
+		b.Days = 1
+	}
+	if b.Start.IsZero() {
+		b.Start = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	}
+	b.Start = b.Start.UTC()
+	if b.Constellation == "" {
+		b.Constellation = "Tianqi"
+	}
+	cons, err := constellationByName(b.Constellation, b.Start)
+	if err != nil {
+		return err
+	}
+	b.Constellation = cons.Name
+	if b.Step < 0 || b.MinDrainGap < 0 {
+		return specErr("step and min_drain_gap must be non-negative")
+	}
+	if b.Step == 0 {
+		b.Step = Duration(time.Minute)
+	}
+	if b.MinDrainGap == 0 {
+		b.MinDrainGap = Duration(150 * time.Minute)
+	}
+	return nil
+}
+
+const deg2Rad = 3.14159265358979323846 / 180
+
+// Run executes the spec and returns its result struct — the value the
+// serving layer marshals with MarshalResult. The spec must be Normalize-d.
+// The progress callback (may be nil) observes the campaign's phases; a
+// cancelled context aborts the run with ctx.Err().
+func Run(ctx context.Context, spec *JobSpec, progress core.ProgressFunc) (any, error) {
+	switch spec.Kind {
+	case KindPassive:
+		cfg, err := spec.Passive.config()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Progress = progress
+		return core.RunPassiveCtx(ctx, cfg)
+	case KindActive:
+		cfg, err := spec.Active.config()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Progress = progress
+		return core.RunActiveCtx(ctx, cfg)
+	case KindCoverage:
+		c := spec.Coverage
+		cons, err := constellationByName(c.Constellation, c.Start)
+		if err != nil {
+			return nil, err
+		}
+		return core.RevisitAnalysisCtx(ctx, cons, c.LatitudesDeg, c.Start, c.Days, progress)
+	case KindBackhaul:
+		return runBackhaul(ctx, spec.Backhaul, progress)
+	}
+	return nil, specErr("unknown kind %q", spec.Kind)
+}
+
+// runBackhaul sweeps the operator ground segment for each satellite's
+// downlink opportunities: the serving-layer view of the store-and-forward
+// drain capacity PR 1 fans out inside the active campaign.
+func runBackhaul(ctx context.Context, b *BackhaulSpec, progress core.ProgressFunc) (*BackhaulResult, error) {
+	cons, err := constellationByName(b.Constellation, b.Start)
+	if err != nil {
+		return nil, err
+	}
+	props, err := cons.Propagators()
+	if err != nil {
+		return nil, err
+	}
+	segment := backhaul.TianqiGroundSegment()
+	end := b.Start.Add(time.Duration(b.Days) * 24 * time.Hour)
+
+	res := &BackhaulResult{Constellation: cons.Name, Start: b.Start, Days: b.Days}
+	res.Satellites = make([]SatBackhaul, len(props))
+	onDone := func(completed, total int) {
+		if progress != nil {
+			progress("satellites", completed, total)
+		}
+	}
+	if err := sim.ForEachErrProgress(len(props), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		eph := orbit.NewEphemeris(props[i], b.Start, end, time.Duration(b.Step))
+		windows := segment.DownlinkWindows(eph, b.Start, end, time.Duration(b.Step))
+		drains := backhaul.ScheduleDrains(windows, time.Duration(b.MinDrainGap))
+		sat := SatBackhaul{
+			NoradID: props[i].Elements().NoradID,
+			Name:    props[i].Elements().Name,
+			Windows: len(windows),
+			Drains:  len(drains),
+		}
+		for _, w := range windows {
+			sat.WindowTime += w.Duration()
+		}
+		if len(drains) > 1 {
+			sat.MeanDrainGap = drains[len(drains)-1].Sub(drains[0]) / time.Duration(len(drains)-1)
+		}
+		res.Satellites[i] = sat
+		return nil
+	}, onDone); err != nil {
+		return nil, err
+	}
+	sort.Slice(res.Satellites, func(i, j int) bool { return res.Satellites[i].NoradID < res.Satellites[j].NoradID })
+	return res, nil
+}
+
+// MarshalResult is the canonical result serialization: every path that
+// produces result bytes — fresh run, cache fill, smoke-test golden — uses
+// it, which is what makes "cached vs fresh" and "served vs direct library
+// call" byte-identical comparisons meaningful.
+func MarshalResult(v any) ([]byte, error) {
+	return json.Marshal(v)
+}

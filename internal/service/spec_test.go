@@ -1,0 +1,152 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNormalizeAppliesPassiveDefaults(t *testing.T) {
+	spec := &JobSpec{Kind: KindPassive}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Passive
+	if p == nil {
+		t.Fatal("Normalize did not create the passive section")
+	}
+	if p.Days != 1 {
+		t.Errorf("Days = %d, want 1", p.Days)
+	}
+	if want := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC); !p.Start.Equal(want) {
+		t.Errorf("Start = %v, want %v", p.Start, want)
+	}
+	if len(p.Sites) != 4 || p.Sites[0] != "HK" {
+		t.Errorf("Sites = %v, want the four continental sites", p.Sites)
+	}
+	if len(p.Constellations) != 4 {
+		t.Errorf("Constellations = %v, want all four", p.Constellations)
+	}
+	if p.Scheduler != "tracking" {
+		t.Errorf("Scheduler = %q, want tracking", p.Scheduler)
+	}
+	if time.Duration(p.CoarseStep) != 60*time.Second {
+		t.Errorf("CoarseStep = %v, want 60s", time.Duration(p.CoarseStep))
+	}
+}
+
+func TestNormalizeAppliesActiveDefaults(t *testing.T) {
+	spec := &JobSpec{Kind: KindActive}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	a := spec.Active
+	if a.Nodes != 3 || a.PayloadBytes != 20 || a.Constellation != "Tianqi" || a.Antenna != "fiveeighths" {
+		t.Errorf("active defaults wrong: %+v", a)
+	}
+	if time.Duration(a.SensePeriod) != 30*time.Minute || time.Duration(a.AckTimeout) != 3*time.Second {
+		t.Errorf("active timing defaults wrong: %+v", a)
+	}
+}
+
+func TestNormalizeAppliesCoverageAndBackhaulDefaults(t *testing.T) {
+	cov := &JobSpec{Kind: KindCoverage}
+	if err := cov.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cov.Coverage.LatitudesDeg) != 9 || cov.Coverage.Constellation != "Tianqi" {
+		t.Errorf("coverage defaults wrong: %+v", cov.Coverage)
+	}
+	bh := &JobSpec{Kind: KindBackhaul}
+	if err := bh.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(bh.Backhaul.Step) != time.Minute || time.Duration(bh.Backhaul.MinDrainGap) != 150*time.Minute {
+		t.Errorf("backhaul defaults wrong: %+v", bh.Backhaul)
+	}
+}
+
+func TestNormalizeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *JobSpec
+		want string
+	}{
+		{"missing kind", &JobSpec{}, "kind is required"},
+		{"unknown kind", &JobSpec{Kind: "teleport"}, "unknown kind"},
+		{"two sections", &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{}, Coverage: &CoverageSpec{}}, "exactly one parameter section"},
+		{"negative days", &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{Days: -1}}, "days must be non-negative"},
+		{"days over limit", &JobSpec{Kind: KindCoverage, Coverage: &CoverageSpec{Days: maxDays + 1}}, "exceeds the serving limit"},
+		{"unknown site", &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{Sites: []string{"ATLANTIS"}}}, "unknown site"},
+		{"unknown constellation", &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{Constellations: []string{"Starlink9000"}}}, "unknown constellation"},
+		{"unknown scheduler", &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{Scheduler: "psychic"}}, "unknown scheduler"},
+		{"unknown weather", &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{Weather: "hail"}}, "unknown weather"},
+		{"negative coarse step", &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{CoarseStep: Duration(-time.Second)}}, "coarse_step must be non-negative"},
+		{"nodes over limit", &JobSpec{Kind: KindActive, Active: &ActiveSpec{Nodes: maxNodes + 1}}, "exceeds the serving limit"},
+		{"negative retx", &JobSpec{Kind: KindActive, Active: &ActiveSpec{MaxRetx: -1}}, "max_retx must be non-negative"},
+		{"unknown antenna", &JobSpec{Kind: KindActive, Active: &ActiveSpec{Antenna: "dish"}}, "unknown antenna"},
+		{"latitude out of range", &JobSpec{Kind: KindCoverage, Coverage: &CoverageSpec{LatitudesDeg: []float64{91}}}, "out of [-90, 90]"},
+		{"too many latitudes", &JobSpec{Kind: KindCoverage, Coverage: &CoverageSpec{LatitudesDeg: make([]float64, maxLatitudes+1)}}, "exceeds the serving limit"},
+		{"negative backhaul step", &JobSpec{Kind: KindBackhaul, Backhaul: &BackhaulSpec{Step: Duration(-1)}}, "must be non-negative"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Normalize()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: error %v does not wrap ErrBadSpec", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDurationJSONForms(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"90m"`), &d); err != nil || time.Duration(d) != 90*time.Minute {
+		t.Fatalf(`"90m" -> %v, %v`, time.Duration(d), err)
+	}
+	if err := json.Unmarshal([]byte(`5000000000`), &d); err != nil || time.Duration(d) != 5*time.Second {
+		t.Fatalf(`5000000000 -> %v, %v`, time.Duration(d), err)
+	}
+	if err := json.Unmarshal([]byte(`"eleventy"`), &d); err == nil {
+		t.Fatal("bad duration string accepted")
+	}
+	out, err := json.Marshal(Duration(90 * time.Minute))
+	if err != nil || string(out) != `"1h30m0s"` {
+		t.Fatalf("marshal = %s, %v", out, err)
+	}
+}
+
+func TestSpecJSONRoundTripKeepsKey(t *testing.T) {
+	spec := &JobSpec{Kind: KindPassive, Passive: &PassiveSpec{
+		Seed:       42,
+		Sites:      []string{"HK", "SYD"},
+		CoarseStep: Duration(30 * time.Second),
+		Faults:     &FaultSpec{StationMTBF: Duration(48 * time.Hour), StationMTTR: Duration(6 * time.Hour)},
+	}}
+	k1, err := ConfigKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JobSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ConfigKey(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("JSON round-trip moved the key: %s -> %s", k1, k2)
+	}
+}

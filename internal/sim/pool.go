@@ -44,14 +44,32 @@ func ForEach(n int, fn func(i int)) error {
 // as one) is returned so the reported failure does not depend on goroutine
 // scheduling.
 func ForEachErr(n int, fn func(i int) error) error {
+	return ForEachErrProgress(n, fn, nil)
+}
+
+// ForEachErrProgress is ForEachErr with completion reporting: after each
+// fn(i) returns, onDone(completed, n) is called with the number of indices
+// finished so far. Completion order is unspecified under parallel
+// execution, but onDone calls are serialized (never concurrent) and
+// completed is strictly increasing from 1 to n, so callers can publish
+// progress without their own locking. A nil onDone reports nothing.
+func ForEachErrProgress(n int, fn func(i int) error, onDone func(completed, total int)) error {
 	if n <= 0 {
 		return nil
 	}
 	errs := make([]error, n)
+	var progressMu sync.Mutex
+	completed := 0
 	call := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				errs[i] = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+			if onDone != nil {
+				progressMu.Lock()
+				completed++
+				onDone(completed, n)
+				progressMu.Unlock()
 			}
 		}()
 		errs[i] = fn(i)

@@ -30,6 +30,65 @@ func TestForEachMoreWorkersThanJobs(t *testing.T) {
 	}
 }
 
+func TestForEachErrProgressReportsEveryCompletion(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100} {
+		var got, totals []int
+		err := ForEachErrProgress(n, func(int) error { return nil }, func(completed, total int) {
+			got = append(got, completed)
+			totals = append(totals, total)
+		})
+		if err != nil {
+			t.Fatalf("n=%d: unexpected error %v", n, err)
+		}
+		for _, total := range totals {
+			if total != n {
+				t.Fatalf("n=%d: onDone reported total %d", n, total)
+			}
+		}
+		// Serialized and strictly increasing: appending without a lock above
+		// is only safe because ForEachErrProgress guarantees onDone calls
+		// never run concurrently; the race detector enforces that here.
+		if len(got) != n {
+			t.Fatalf("n=%d: onDone called %d times", n, len(got))
+		}
+		for i, c := range got {
+			if c != i+1 {
+				t.Fatalf("n=%d: completed sequence %v not strictly increasing from 1", n, got)
+			}
+		}
+	}
+}
+
+func TestForEachErrProgressCountsFailedIndices(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := ForEachErrProgress(8, func(i int) error {
+		if i%2 == 0 {
+			return boom
+		}
+		if i == 5 {
+			panic("kaput")
+		}
+		return nil
+	}, func(completed, total int) { calls = completed })
+	if err != boom {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if calls != 8 {
+		t.Fatalf("failed and panicking indices must still count as completed; got %d/8", calls)
+	}
+}
+
+func TestForEachErrProgressNilCallback(t *testing.T) {
+	var count int32
+	if err := ForEachErrProgress(50, func(int) error { atomic.AddInt32(&count, 1); return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("ran %d times, want 50", count)
+	}
+}
+
 func TestForEachErrReturnsLowestIndexError(t *testing.T) {
 	errA := errors.New("a")
 	errB := errors.New("b")

@@ -169,6 +169,11 @@ type EnergyComparison = core.EnergyComparison
 // StationAvailability is one station's availability-under-churn summary.
 type StationAvailability = core.StationAvailability
 
+// ProgressFunc observes campaign phase progress. Set it on a campaign
+// config's Progress field; it is called with strictly increasing completed
+// counts per phase and never concurrently.
+type ProgressFunc = core.ProgressFunc
+
 // ErrInvalidConfig is the sentinel every campaign config validation error
 // wraps; match with errors.Is.
 var ErrInvalidConfig = core.ErrInvalidConfig
