@@ -1,6 +1,7 @@
 GO ?= go
+BENCHTIME ?= 1x
 
-.PHONY: all build test race bench-smoke fuzz-smoke serve-smoke staticcheck govulncheck ci
+.PHONY: all build test race bench bench-smoke fuzz-smoke serve-smoke staticcheck govulncheck ci
 
 all: build
 
@@ -12,6 +13,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench runs every benchmark with -benchmem and converts the output into a
+# machine-readable BENCH_<date>.json via cmd/benchjson, so runs are easy to
+# diff over time. Raise BENCHTIME (e.g. BENCHTIME=5s) for real measurements;
+# the 1x default is a fast everything-still-compiles-and-runs pass.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... > bench.raw.txt
+	$(GO) run ./cmd/benchjson < bench.raw.txt > BENCH_$$(date +%F).json
+	@rm -f bench.raw.txt
+	@echo "wrote BENCH_$$(date +%F).json"
 
 # bench-smoke runs one iteration of the pass-prediction benches as a
 # compile-and-run check; real measurements use `go test -bench . -benchtime 5s`.
@@ -46,7 +57,7 @@ govulncheck:
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) test -race ./...   # includes the internal/obs concurrent-scrape tests
 	$(MAKE) staticcheck
 	$(MAKE) govulncheck
 	$(MAKE) bench-smoke

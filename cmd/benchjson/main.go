@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON document for tracking benchmark results over time
+// (see the Makefile `bench` target, which writes BENCH_<date>.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_2026-08-05.json
+//
+// The output is a single JSON object with context (goos, goarch, cpu, Go
+// version) and one entry per benchmark result line: name, package,
+// iterations, ns/op, and — when -benchmem was used — B/op and allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the full JSON document: run context plus all results.
+type Report struct {
+	GOOS      string   `json:"goos,omitempty"`
+	GOARCH    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	GoVersion string   `json:"go_version,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses benchmark output from r and writes the JSON report to w.
+// Non-benchmark lines (test PASS/ok lines, progress output) are ignored,
+// so the whole `go test -bench` stream can be piped through unfiltered.
+func run(r io.Reader, w io.Writer) error {
+	rep := Report{Results: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseLine(line); ok {
+				res.Package = pkg
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	rep.GoVersion = runtime.Version()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkFoo-8   	 1000000	      1234 ns/op	     456 B/op	       7 allocs/op
+//
+// Fields after iterations come in "<value> <unit>" pairs; unknown units
+// are skipped so custom b.ReportMetric output does not break parsing.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				res.NsPerOp = v
+				seen = true
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.BytesPerOp = v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.AllocsPerOp = v
+			}
+		}
+	}
+	return res, seen
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/sinet-io/sinet
+cpu: AMD EPYC 7B13
+BenchmarkPassPredictionSerial-8   	       2	 512345678 ns/op	 1234567 B/op	    8901 allocs/op
+BenchmarkPassPredictionParallel-8 	       4	 256789012 ns/op	 1234500 B/op	    8899 allocs/op
+PASS
+ok  	github.com/sinet-io/sinet	3.456s
+pkg: github.com/sinet-io/sinet/internal/obs
+BenchmarkCounterInc-8             	100000000	        10.52 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/sinet-io/sinet/internal/obs	1.234s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Errorf("context = %s/%s, want linux/amd64", rep.GOOS, rep.GOARCH)
+	}
+	if rep.GoVersion == "" {
+		t.Error("missing go_version")
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(rep.Results))
+	}
+	first := rep.Results[0]
+	if first.Name != "BenchmarkPassPredictionSerial-8" {
+		t.Errorf("name = %q", first.Name)
+	}
+	if first.Package != "github.com/sinet-io/sinet" {
+		t.Errorf("package = %q", first.Package)
+	}
+	if first.Iterations != 2 || first.NsPerOp != 512345678 {
+		t.Errorf("iterations/ns = %d/%v", first.Iterations, first.NsPerOp)
+	}
+	if first.BytesPerOp != 1234567 || first.AllocsPerOp != 8901 {
+		t.Errorf("mem stats = %d B/op, %d allocs/op", first.BytesPerOp, first.AllocsPerOp)
+	}
+	last := rep.Results[2]
+	if last.Package != "github.com/sinet-io/sinet/internal/obs" {
+		t.Errorf("package tracking across pkg: lines broke: %q", last.Package)
+	}
+	if last.NsPerOp != 10.52 {
+		t.Errorf("fractional ns/op = %v, want 10.52", last.NsPerOp)
+	}
+}
+
+func TestRunIgnoresNoise(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("PASS\nok  \tsome/pkg\t0.1s\nrandom noise\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("results = %d, want 0", len(rep.Results))
+	}
+	// An empty run still emits a results array, not null.
+	if !strings.Contains(out.String(), `"results": []`) {
+		t.Errorf("empty results should render as []:\n%s", out.String())
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkOnlyName-8",
+		"BenchmarkNoNumbers-8 abc def ns/op",
+		"BenchmarkNoUnit-8 100 42",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

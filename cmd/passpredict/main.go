@@ -5,26 +5,31 @@
 //
 //	passpredict -lat 22.3 -lon 114.2 [-alt 0] [-hours 24] [-minel 0]
 //	            [-tle FILE | -constellation Tianqi|FOSSA|PICO|CSTP]
-//	            [-start RFC3339]
+//	            [-start RFC3339] [-telemetry]
+//
+// With -telemetry the prediction collects engine metrics (SGP4 calls,
+// ephemeris cache activity) and appends a Prometheus-format snapshot to
+// the output. Telemetry never changes the predicted passes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	sinet "github.com/sinet-io/sinet"
+	"github.com/sinet-io/sinet/internal/obs"
+	"github.com/sinet-io/sinet/internal/orbit"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("passpredict: ")
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).Error("passpredict exiting", "error", err)
+		os.Exit(1)
 	}
 }
 
@@ -41,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 	tlePath := fs.String("tle", "", "TLE file (2- or 3-line sets, repeated)")
 	consName := fs.String("constellation", "Tianqi", "built-in constellation when no TLE file is given")
 	startStr := fs.String("start", "", "search start (RFC3339, default: constellation epoch)")
+	telemetry := fs.Bool("telemetry", false, "collect engine telemetry and print a Prometheus-format snapshot after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +75,13 @@ func run(args []string, stdout io.Writer) error {
 	end := start.Add(time.Duration(*hours * float64(time.Hour)))
 	mask := *minEl * 3.14159265358979 / 180
 
+	var reg *obs.Registry
+	if *telemetry {
+		reg = obs.New()
+		orbit.SetMetrics(reg)
+		defer orbit.SetMetrics(nil)
+	}
+
 	props, err := loadPropagators(*tlePath, *consName, start)
 	if err != nil {
 		return err
@@ -85,7 +98,7 @@ func run(args []string, stdout io.Writer) error {
 	sortPasses(all)
 	if len(all) == 0 {
 		fmt.Fprintln(stdout, "no passes found")
-		return nil
+		return writeSnapshot(stdout, reg)
 	}
 	fmt.Fprintf(stdout, "%-14s %-20s %-20s %-9s %-7s %-9s\n", "SAT", "AOS (UTC)", "LOS (UTC)", "DUR", "MAXEL", "MINRANGE")
 	for _, p := range all {
@@ -97,7 +110,17 @@ func run(args []string, stdout io.Writer) error {
 			p.MaxElevationDeg(), p.MinRangeKm)
 	}
 	fmt.Fprintf(stdout, "\n%d passes\n", len(all))
-	return nil
+	return writeSnapshot(stdout, reg)
+}
+
+// writeSnapshot appends the end-of-run telemetry snapshot when -telemetry
+// installed a registry; with no registry it is a no-op.
+func writeSnapshot(stdout io.Writer, reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	fmt.Fprintf(stdout, "\n# telemetry snapshot (Prometheus text format)\n")
+	return reg.WritePrometheus(stdout)
 }
 
 // loadPropagators builds propagators from a TLE file or a built-in fleet.

@@ -57,6 +57,25 @@ func TestRunPredictsPasses(t *testing.T) {
 	}
 }
 
+func TestTelemetrySnapshotAppended(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-constellation", "FOSSA", "-hours", "6", "-telemetry"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# telemetry snapshot (Prometheus text format)",
+		"# TYPE sinet_sgp4_calls_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("telemetry snapshot missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "sinet_sgp4_calls_total 0\n") {
+		t.Errorf("expected nonzero SGP4 calls in snapshot:\n%s", text)
+	}
+}
+
 func TestParseTLEFileSingle(t *testing.T) {
 	props, err := parseTLEFile(issTLE)
 	if err != nil {

@@ -5,13 +5,18 @@
 // Usage:
 //
 //	sinetd [-addr :8470] [-workers N] [-queue 64] [-cache-bytes 268435456]
+//	       [-log-format text|json] [-pprof]
 //	sinetd -smoke   # self-check: serve on a random port, submit a small
 //	                # job over HTTP, diff against the direct library call
 //
-// The API (see DESIGN.md "Serving architecture"):
+// The API (see DESIGN.md "Serving architecture" and "Observability"):
 //
 //	POST   /v1/jobs             GET /v1/jobs/{id}         GET /v1/jobs/{id}/result
 //	DELETE /v1/jobs/{id}        GET /v1/jobs/{id}/events  GET /v1/stats  GET /healthz
+//	GET    /metrics             GET /debug/pprof/* (with -pprof)
+//
+// Logs are structured (log/slog) on stderr; -log-format json emits one
+// JSON object per line for log shippers.
 package main
 
 import (
@@ -20,23 +25,38 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"github.com/sinet-io/sinet/internal/obs"
 	"github.com/sinet-io/sinet/internal/service"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sinetd: ")
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).Error("sinetd exiting", "error", err)
+		os.Exit(1)
 	}
+}
+
+// newLogger builds the daemon's structured logger in the requested
+// format. The text handler is for humans at a terminal; json is one
+// object per line for shippers.
+func newLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
 }
 
 // run parses arguments and serves (or self-checks) until shutdown. It is
@@ -49,6 +69,8 @@ func run(args []string, stdout io.Writer) error {
 	queue := fs.Int("queue", 64, "queued-job bound; a full queue returns 429")
 	cacheBytes := fs.Int64("cache-bytes", 256<<20, "result cache budget in bytes (0 disables caching)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof/* profiling endpoints")
 	smoke := fs.Bool("smoke", false, "run the serve-smoke self check and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,25 +87,56 @@ func run(args []string, stdout io.Writer) error {
 	if *drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout)
 	}
+	logger, err := newLogger(*logFormat, os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	if *smoke {
 		return runSmoke(stdout)
 	}
-	return serve(*addr, service.Config{Workers: *workers, QueueDepth: *queue, CacheBytes: *cacheBytes}, *drainTimeout, stdout)
+	cfg := service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheBytes,
+		Metrics:    obs.New(),
+		Logger:     logger,
+	}
+	return serve(*addr, cfg, *drainTimeout, *pprofOn, logger)
 }
 
 // serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
 // refuse new work, cancel queued and running jobs, stop the listener.
-func serve(addr string, cfg service.Config, drainTimeout time.Duration, stdout io.Writer) error {
+func serve(addr string, cfg service.Config, drainTimeout time.Duration, pprofOn bool, logger *slog.Logger) error {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	svc := service.New(cfg)
-	httpSrv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if pprofOn {
+		// Profiling is opt-in: the endpoints expose heap contents and
+		// stack traces, so they stay off unless explicitly requested.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: mux}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "sinetd listening on %s (workers=%d queue=%d cache=%dB)\n",
-		ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.CacheBytes)
+	logger.Info("sinetd listening",
+		"addr", ln.Addr().String(),
+		"version", obs.Version(),
+		"gomaxprocs", runtime.GOMAXPROCS(0),
+		"workers", cfg.Workers,
+		"queue", cfg.QueueDepth,
+		"cache_bytes", cfg.CacheBytes,
+		"pprof", pprofOn)
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -98,7 +151,7 @@ func serve(addr string, cfg service.Config, drainTimeout time.Duration, stdout i
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		fmt.Fprintf(stdout, "received %v, draining\n", sig)
+		logger.Info("signal received, draining", "signal", sig.String())
 	case err := <-errCh:
 		return err
 	}
@@ -113,6 +166,6 @@ func serve(addr string, cfg service.Config, drainTimeout time.Duration, stdout i
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
-	fmt.Fprintln(stdout, "drained cleanly")
+	logger.Info("drained cleanly")
 	return <-errCh
 }

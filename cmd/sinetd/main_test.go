@@ -17,6 +17,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"negative queue", []string{"-queue", "-5"}, "-queue must be positive"},
 		{"negative cache", []string{"-cache-bytes", "-1"}, "-cache-bytes must be non-negative"},
 		{"zero drain timeout", []string{"-drain-timeout", "0s"}, "-drain-timeout must be positive"},
+		{"bad log format", []string{"-log-format", "yaml"}, "-log-format must be text or json"},
 	}
 	for _, tc := range cases {
 		err := run(tc.args, io.Discard)
@@ -27,6 +28,17 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		if _, err := newLogger(format, io.Discard); err != nil {
+			t.Errorf("newLogger(%q): %v", format, err)
+		}
+	}
+	if _, err := newLogger("xml", io.Discard); err == nil {
+		t.Error("newLogger(xml): expected error")
 	}
 }
 

@@ -6,28 +6,35 @@
 //
 //	sinetsim [-days 7] [-seed 42] [-sites HK,SYD] [-constellations Tianqi,PICO]
 //	         [-scheduler tracking|roundrobin] [-csv traces.csv] [-json traces.json]
-//	         [-station-mtbf 72h -station-mttr 6h]
+//	         [-station-mtbf 72h -station-mttr 6h] [-telemetry]
+//
+// With -telemetry the run collects engine metrics (SGP4 calls, ephemeris
+// cache hits, sim tasks, per-phase timings) and appends a Prometheus-format
+// snapshot to the summary. Telemetry never changes the simulated results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	sinet "github.com/sinet-io/sinet"
 	"github.com/sinet-io/sinet/internal/groundstation"
+	"github.com/sinet-io/sinet/internal/obs"
+	"github.com/sinet-io/sinet/internal/orbit"
 	"github.com/sinet-io/sinet/internal/report"
+	"github.com/sinet-io/sinet/internal/sim"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sinetsim: ")
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).Error("sinetsim exiting", "error", err)
+		os.Exit(1)
 	}
 }
 
@@ -46,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 	honorStart := fs.Bool("honor-start", false, "delay sites to their Table 1 start months")
 	stationMTBF := fs.Duration("station-mtbf", 0, "inject station churn: mean up-time between failures (requires -station-mttr)")
 	stationMTTR := fs.Duration("station-mttr", 0, "inject station churn: mean down-time per failure (requires -station-mtbf)")
+	telemetry := fs.Bool("telemetry", false, "collect campaign telemetry and print a Prometheus-format snapshot after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +124,25 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown scheduler %q", *schedArg)
 	}
 
+	var reg *obs.Registry
+	if *telemetry {
+		reg = obs.New()
+		orbit.SetMetrics(reg)
+		sim.SetMetrics(reg)
+		defer orbit.SetMetrics(nil)
+		defer sim.SetMetrics(nil)
+	}
+
+	slog.New(slog.NewTextHandler(os.Stderr, nil)).Info("sinetsim starting",
+		"version", obs.Version(),
+		"gomaxprocs", runtime.GOMAXPROCS(0),
+		"days", *days,
+		"seed", *seed,
+		"sites", len(cfg.Sites),
+		"constellations", len(cfg.Constellations),
+		"scheduler", *schedArg,
+		"telemetry", *telemetry)
+
 	fmt.Fprintf(stdout, "running %d-day campaign: %d sites, %d constellations, scheduler=%s\n",
 		*days, len(cfg.Sites), len(cfg.Constellations), *schedArg)
 	t0 := time.Now()
@@ -161,6 +188,13 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote JSON dataset to %s\n", *jsonPath)
+	}
+
+	if reg != nil {
+		fmt.Fprintf(stdout, "\n# telemetry snapshot (Prometheus text format)\n")
+		if err := reg.WritePrometheus(stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -32,6 +32,30 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+func TestTelemetrySnapshotAppended(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a one-day campaign")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-days", "1", "-sites", "HK", "-constellations", "Tianqi", "-telemetry",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# telemetry snapshot (Prometheus text format)",
+		"# TYPE sinet_sgp4_calls_total counter",
+		"sinet_sim_tasks_total",
+		`sinet_sim_phase_seconds_count{phase="contacts"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("telemetry snapshot missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestRunSmallCampaignWithChurn(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a one-day campaign")

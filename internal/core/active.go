@@ -356,7 +356,7 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 		outage  fault.Schedule
 	}
 	plans := make([]satPlan, len(props))
-	if err := sim.ForEachErrProgress(len(props), func(i int) error {
+	if err := sim.ForEachPhase("plan", len(props), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}

@@ -52,7 +52,7 @@ func RevisitAnalysisCtx(ctx context.Context, cons constellation.Constellation, l
 	// Sample each satellite's trajectory once; every latitude's pass
 	// search then reads the shared grid instead of re-propagating.
 	ephs := make([]*orbit.Ephemeris, len(props))
-	if err := sim.ForEachErrProgress(len(props), func(i int) error {
+	if err := sim.ForEachPhase("ephemeris", len(props), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -63,7 +63,7 @@ func RevisitAnalysisCtx(ctx context.Context, cons constellation.Constellation, l
 	}
 
 	out := make([]RevisitStats, len(latitudesDeg))
-	if err := sim.ForEachErrProgress(len(latitudesDeg), func(li int) error {
+	if err := sim.ForEachPhase("latitudes", len(latitudesDeg), func(li int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}

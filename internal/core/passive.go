@@ -236,7 +236,7 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 			sats = append(sats, satRef{ci, si})
 		}
 	}
-	if err := sim.ForEachErrProgress(len(sats), func(i int) error {
+	if err := sim.ForEachPhase("ephemeris", len(sats), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -260,7 +260,7 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 		}
 	}
 	units := make([]*passiveUnit, len(pairs))
-	if err := sim.ForEachErrProgress(len(pairs), func(i int) error {
+	if err := sim.ForEachPhase("contacts", len(pairs), func(i int) error {
 		p := pairs[i]
 		u, err := runPassiveSiteConstellation(ctx, cfg, p.s.site, p.s.stations, p.c, p.s.weather, p.s.start, end, p.s.outages)
 		units[i] = u

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerGoldenScrape serves a registry with one metric of each kind
+// over real HTTP and compares the scrape byte-for-byte against the
+// expected exposition text. Deterministic inputs make the whole body a
+// golden value, pinning HELP/TYPE lines, ordering, histogram expansion
+// and float formatting at once.
+func TestHandlerGoldenScrape(t *testing.T) {
+	r := New()
+	jobs := r.Gauge("sinet_jobs_queued", "Jobs waiting for a worker.")
+	jobs.Set(3)
+	hits := r.Counter("sinet_cache_hits_total", "Result-cache lookups answered from memory.")
+	hits.Add(41)
+	r.GaugeFunc("sinet_queue_capacity", "Configured queue bound.", func() float64 { return 64 })
+	adm := r.CounterVec("sinet_admission_total", "Submissions by HTTP status.", "code")
+	adm.With("202").Add(5)
+	adm.With("429").Inc()
+	dur := r.HistogramVec("sinet_campaign_seconds", "Campaign wall time by kind.", "kind", []float64{0.5, 1})
+	dur.With("passive").Observe(0.25)
+	dur.With("passive").Observe(0.75)
+	dur.With("passive").Observe(4)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := strings.Join([]string{
+		"# HELP sinet_admission_total Submissions by HTTP status.",
+		"# TYPE sinet_admission_total counter",
+		`sinet_admission_total{code="202"} 5`,
+		`sinet_admission_total{code="429"} 1`,
+		"# HELP sinet_cache_hits_total Result-cache lookups answered from memory.",
+		"# TYPE sinet_cache_hits_total counter",
+		"sinet_cache_hits_total 41",
+		"# HELP sinet_campaign_seconds Campaign wall time by kind.",
+		"# TYPE sinet_campaign_seconds histogram",
+		`sinet_campaign_seconds_bucket{kind="passive",le="0.5"} 1`,
+		`sinet_campaign_seconds_bucket{kind="passive",le="1"} 2`,
+		`sinet_campaign_seconds_bucket{kind="passive",le="+Inf"} 3`,
+		`sinet_campaign_seconds_sum{kind="passive"} 5`,
+		`sinet_campaign_seconds_count{kind="passive"} 3`,
+		"# HELP sinet_jobs_queued Jobs waiting for a worker.",
+		"# TYPE sinet_jobs_queued gauge",
+		"sinet_jobs_queued 3",
+		"# HELP sinet_queue_capacity Configured queue bound.",
+		"# TYPE sinet_queue_capacity gauge",
+		"sinet_queue_capacity 64",
+		"",
+	}, "\n")
+	if string(body) != want {
+		t.Errorf("scrape mismatch:\n--- got ---\n%s\n--- want ---\n%s", body, want)
+	}
+}

@@ -1,0 +1,142 @@
+// Package obs is SINet's zero-dependency telemetry layer: atomic
+// counters, gauges and fixed-bucket histograms collected in a named
+// Registry and rendered in the Prometheus text exposition format.
+//
+// The package is built around one contract: instrumentation must be safe
+// to leave in hot paths even when nobody is observing. Every metric
+// method is nil-safe — calling Inc on a nil *Counter or Observe on a nil
+// *Histogram is a no-op that performs zero allocations — so instrumented
+// packages hold plain metric pointers that stay nil until a registry is
+// installed, and the uninstrumented fast path costs one predictable
+// branch. Telemetry observes execution; it never participates in it: no
+// metric feeds back into RNG streams, iteration order, or results, which
+// is what keeps golden byte-identity tests valid with and without a
+// registry (see DESIGN.md "Observability").
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are nil-safe and safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; all methods are nil-safe and safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution: observations are counted into
+// the first bucket whose upper bound is >= the value, plus an implicit
+// +Inf bucket, alongside a running sum and count. Bucket bounds are fixed
+// at construction, so Observe is lock-free. All methods are nil-safe and
+// safe for concurrent use.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, excluding +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// DurationBuckets is the default upper-bound set (seconds) for wall-time
+// histograms: campaign phases run from tens of milliseconds on a small
+// spec to minutes for multi-week multi-site sweeps.
+var DurationBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilMetricsAreNoOps pins the nil-registry contract: every
+// constructor on a nil registry returns a nil metric, and every method on
+// a nil metric is a safe no-op.
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", DurationBuckets)
+	cv := r.CounterVec("cv", "", "k")
+	gv := r.GaugeVec("gv", "", "k")
+	hv := r.HistogramVec("hv", "", "k", DurationBuckets)
+	r.GaugeFunc("gf", "", func() float64 { return 1 })
+
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	h.Observe(0.5)
+	cv.With("x").Inc()
+	gv.With("x").Set(1)
+	hv.With("x").Observe(1)
+
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil metrics must read as zero: c=%d g=%d hc=%d hs=%v", c.Value(), g.Value(), h.Count(), h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry must render nothing, got %q (err=%v)", sb.String(), err)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from
+// many goroutines; run under -race this is the data-race proof, and the
+// final totals prove no update was lost.
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []float64{0.5, 1, 2})
+	hv := r.HistogramVec("hv_seconds", "", "phase", []float64{1})
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%4) * 0.75) // 0, 0.75, 1.5, 2.25
+				hv.With("phase-" + string(rune('a'+w%2))).Observe(0.5)
+				// Interleave scrapes with updates: rendering must never
+				// race the writers.
+				if i%500 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Errorf("render: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const n = workers * perWorker
+	if got := c.Value(); got != n {
+		t.Errorf("counter lost updates: got %d want %d", got, n)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge should balance to 0, got %d", got)
+	}
+	if got := h.Count(); got != n {
+		t.Errorf("histogram count: got %d want %d", got, n)
+	}
+	wantSum := float64(n/4) * (0 + 0.75 + 1.5 + 2.25)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("histogram sum: got %v want %v", got, wantSum)
+	}
+}
+
+// TestHistogramBucketing pins the "first bound >= value" bucketing rule,
+// including values exactly on a bound and past the last bound.
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 2.5, 5})
+	for _, v := range []float64{0.5, 1, 1.1, 2.5, 4, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 1, 1} // (-inf,1], (1,2.5], (2.5,5], (5,+inf)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d: got %d want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count: got %d want 6", h.Count())
+	}
+}
+
+// TestRegistrationIsIdempotent verifies two registrations of the same
+// name return the same underlying metric, and that kind mismatches panic.
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := New()
+	a := r.Counter("dup_total", "help")
+	b := r.Counter("dup_total", "ignored on re-registration")
+	a.Inc()
+	if got := b.Value(); got != 1 {
+		t.Fatalf("re-registration must return the same counter, got %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("dup_total", "")
+}
+
+// TestEscaping verifies HELP and label-value escaping per the text
+// exposition format: backslashes, quotes (labels only) and newlines.
+func TestEscaping(t *testing.T) {
+	r := New()
+	r.Counter("esc_total", "line one\nback\\slash")
+	r.CounterVec("escv_total", "labeled", "site").With("He said \"hi\"\\\n").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP esc_total line one\nback\\slash`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `escv_total{site="He said \"hi\"\\\n"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+// TestRenderOrdering verifies families render sorted by name and series
+// sorted by label value, independent of registration/observation order.
+func TestRenderOrdering(t *testing.T) {
+	r := New()
+	r.Counter("zzz_total", "").Inc()
+	v := r.CounterVec("mmm_total", "", "k")
+	v.With("b").Inc()
+	v.With("a").Add(2)
+	r.Gauge("aaa", "").Set(7)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	idxA := strings.Index(out, "aaa 7")
+	idxMA := strings.Index(out, `mmm_total{k="a"} 2`)
+	idxMB := strings.Index(out, `mmm_total{k="b"} 1`)
+	idxZ := strings.Index(out, "zzz_total 1")
+	if idxA < 0 || idxMA < 0 || idxMB < 0 || idxZ < 0 {
+		t.Fatalf("missing series:\n%s", out)
+	}
+	if !(idxA < idxMA && idxMA < idxMB && idxMB < idxZ) {
+		t.Errorf("render out of order (aaa=%d m{a}=%d m{b}=%d zzz=%d):\n%s", idxA, idxMA, idxMB, idxZ, out)
+	}
+}

@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Registry is a named collection of metric families rendered together as
+// one Prometheus text scrape. Registration is idempotent: asking twice
+// for the same (name, kind) returns the same metric, so independent
+// subsystems can share one family without coordination. Registering a
+// name twice with a different kind, label name, or bucket layout is a
+// programming error and panics.
+//
+// All methods are nil-safe: every constructor on a nil *Registry returns
+// a nil metric (whose methods no-op), and rendering a nil registry writes
+// nothing. That is the "no registry installed" contract — instrumented
+// code never checks whether telemetry is on.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one metric name: its metadata plus the series living under
+// it, keyed by label value ("" for the unlabeled singleton).
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	label   string // label name; "" = unlabeled
+	buckets []float64
+	fn      func() float64 // kindGaugeFunc only
+
+	mu     sync.Mutex
+	series map[string]any // label value -> *Counter | *Gauge | *Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, k kind, label string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, label: label, buckets: buckets, series: map[string]any{}}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != k || f.label != label || len(f.buckets) != len(buckets) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s/label=%q (was %s/label=%q)", name, k, label, f.kind, f.label))
+	}
+	return f
+}
+
+func (f *family) counter(value string) *Counter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[value]; ok {
+		return m.(*Counter)
+	}
+	c := &Counter{}
+	f.series[value] = c
+	return c
+}
+
+func (f *family) gauge(value string) *Gauge {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[value]; ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{}
+	f.series[value] = g
+	return g
+}
+
+func (f *family) histogram(value string) *Histogram {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[value]; ok {
+		return m.(*Histogram)
+	}
+	h := newHistogram(f.buckets)
+	f.series[value] = h
+	return h
+}
+
+// Counter returns the unlabeled counter registered under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, kindCounter, "", nil).counter("")
+}
+
+// Gauge returns the unlabeled gauge registered under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, kindGauge, "", nil).gauge("")
+}
+
+// GaugeFunc registers a gauge whose value is sampled by fn at render
+// time, for values that already live somewhere authoritative (queue
+// depth, cache size) and would drift if mirrored into a stored gauge.
+// fn runs during WritePrometheus and must not call back into the
+// registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.family(name, help, kindGaugeFunc, "", nil)
+	f.fn = fn
+}
+
+// Histogram returns the unlabeled histogram registered under name with
+// the given ascending upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, kindHistogram, "", buckets).histogram("")
+}
+
+// CounterVec is a counter family partitioned by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a counter family whose series are distinguished by
+// the given label name.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.family(name, help, kindCounter, label, nil)}
+}
+
+// With returns the series for one label value, creating it on first use.
+// Fetch series once at wiring time when the value set is known: With
+// takes the family lock.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.counter(value)
+}
+
+// GaugeVec is a gauge family partitioned by one label.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a gauge family whose series are distinguished by the
+// given label name.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.family(name, help, kindGauge, label, nil)}
+}
+
+// With returns the series for one label value, creating it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.gauge(value)
+}
+
+// HistogramVec is a histogram family partitioned by one label.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a histogram family whose series are
+// distinguished by the given label name and share one bucket layout.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.family(name, help, kindHistogram, label, buckets)}
+}
+
+// With returns the series for one label value, creating it on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.histogram(value)
+}
+
+// --- rendering ----------------------------------------------------------
+
+// escapeHelp escapes a HELP string per the text exposition format.
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelPair renders {name="value"} (or "" when the family is unlabeled).
+func labelPair(name, value string) string {
+	if name == "" {
+		return ""
+	}
+	return "{" + name + "=\"" + escapeLabel(value) + "\"}"
+}
+
+// WritePrometheus renders every registered family in text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// value, histograms expanded into cumulative _bucket/_sum/_count lines.
+// The snapshot is per-metric atomic, not cross-metric consistent —
+// counters keep moving while a scrape renders, which Prometheus expects.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		if f.kind == kindGaugeFunc {
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatFloat(f.fn()))
+			continue
+		}
+		f.mu.Lock()
+		values := make([]string, 0, len(f.series))
+		for v := range f.series {
+			values = append(values, v)
+		}
+		series := make([]any, len(values))
+		sort.Strings(values)
+		for i, v := range values {
+			series[i] = f.series[v]
+		}
+		f.mu.Unlock()
+		for i, value := range values {
+			switch m := series[i].(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelPair(f.label, value), m.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelPair(f.label, value), m.Value())
+			case *Histogram:
+				writeHistogram(bw, f, value, m)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets in
+// bound order, the implicit +Inf bucket, then _sum and _count.
+func writeHistogram(w io.Writer, f *family, value string, h *Histogram) {
+	var labels string
+	if f.label != "" {
+		labels = f.label + "=\"" + escapeLabel(value) + "\","
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", f.name, labels, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", f.name, labels, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelPair(f.label, value), formatFloat(h.Sum()))
+	// _count mirrors the +Inf cumulative bucket so one scrape is always
+	// internally consistent, even while observations race the render.
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelPair(f.label, value), cum)
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

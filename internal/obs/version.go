@@ -1,0 +1,14 @@
+package obs
+
+import "runtime/debug"
+
+// Version reports the main module's build version for startup log lines:
+// the VCS tag or pseudo-version for released binaries, "(devel)" for
+// source builds, "unknown" when build info is unavailable (e.g. test
+// binaries built without module info).
+func Version() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}

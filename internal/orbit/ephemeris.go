@@ -83,8 +83,14 @@ func (e *Ephemeris) Span() (start, end time.Time) {
 func (e *Ephemeris) PositionECEF(t time.Time) (Vec3, Vec3, error) {
 	if d := t.Sub(e.start); d >= 0 && d%e.step == 0 {
 		if i := int(d / e.step); i < len(e.pos) {
+			if m := metrics.Load(); m != nil {
+				m.ephHits.Inc()
+			}
 			return e.pos[i], e.vel[i], e.errs[i]
 		}
+	}
+	if m := metrics.Load(); m != nil {
+		m.ephMisses.Inc()
 	}
 	return e.prop.PositionECEF(t)
 }

@@ -1,0 +1,43 @@
+package orbit
+
+import (
+	"sync/atomic"
+
+	"github.com/sinet-io/sinet/internal/obs"
+)
+
+// orbitMetrics bundles the package's telemetry so one atomic pointer
+// covers install/uninstall: either every counter is live or none is.
+type orbitMetrics struct {
+	sgp4Calls *obs.Counter
+	ephHits   *obs.Counter
+	ephMisses *obs.Counter
+}
+
+// metrics is the process-wide installed telemetry (nil = uninstrumented).
+// An atomic pointer rather than a plain var so tests can install and
+// uninstall registries while campaigns run under -race.
+var metrics atomic.Pointer[orbitMetrics]
+
+// SetMetrics installs campaign propagation telemetry into r:
+//
+//	sinet_sgp4_calls_total        SGP4 propagations performed
+//	sinet_ephemeris_hits_total    state queries served from ephemeris grids
+//	sinet_ephemeris_misses_total  off-grid queries falling back to SGP4
+//
+// The installation is process-wide (propagators are created deep inside
+// campaigns, far from any registry owner). A nil r uninstalls, restoring
+// the zero-allocation uninstrumented fast path. Telemetry only observes:
+// no counter influences propagation, so results are byte-identical with
+// and without a registry installed.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&orbitMetrics{
+		sgp4Calls: r.Counter("sinet_sgp4_calls_total", "SGP4 propagations performed."),
+		ephHits:   r.Counter("sinet_ephemeris_hits_total", "Satellite state queries served from shared ephemeris samples."),
+		ephMisses: r.Counter("sinet_ephemeris_misses_total", "Off-grid satellite state queries answered by exact SGP4 fallback."),
+	})
+}

@@ -1,0 +1,78 @@
+package orbit
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/obs"
+)
+
+// TestSetMetricsCountsPropagationAndGrid verifies the installed counters
+// see SGP4 calls and ephemeris grid hits/misses, and that uninstalling
+// stops the flow.
+func TestSetMetricsCountsPropagationAndGrid(t *testing.T) {
+	prop, err := NewPropagator(leoElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := leoElements().Epoch
+	eph := NewEphemeris(prop, start, start.Add(10*time.Minute), time.Minute)
+
+	r := obs.New()
+	SetMetrics(r)
+	defer SetMetrics(nil)
+	sgp4 := r.Counter("sinet_sgp4_calls_total", "")
+	hits := r.Counter("sinet_ephemeris_hits_total", "")
+	misses := r.Counter("sinet_ephemeris_misses_total", "")
+
+	if _, _, err := eph.PositionECEF(start.Add(2 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Value(); got != 1 {
+		t.Errorf("grid query: hits = %d, want 1", got)
+	}
+	if got := sgp4.Value(); got != 0 {
+		t.Errorf("grid query must not propagate: sgp4 = %d", got)
+	}
+
+	if _, _, err := eph.PositionECEF(start.Add(90 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := misses.Value(); got != 1 {
+		t.Errorf("off-grid query: misses = %d, want 1", got)
+	}
+	if got := sgp4.Value(); got == 0 {
+		t.Errorf("off-grid query must fall back to SGP4")
+	}
+
+	SetMetrics(nil)
+	before := sgp4.Value()
+	if _, _, err := eph.PositionECEF(start.Add(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sgp4.Value(); got != before {
+		t.Errorf("uninstalled telemetry still counting: %d -> %d", before, got)
+	}
+}
+
+// TestUninstrumentedGridHitAllocatesNothing pins the hot-path contract:
+// with no registry installed, an on-grid ephemeris query performs zero
+// allocations.
+func TestUninstrumentedGridHitAllocatesNothing(t *testing.T) {
+	prop, err := NewPropagator(leoElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := leoElements().Epoch
+	eph := NewEphemeris(prop, start, start.Add(10*time.Minute), time.Minute)
+	SetMetrics(nil)
+	q := start.Add(3 * time.Minute)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := eph.PositionECEF(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("uninstrumented grid hit allocates %v times per query", allocs)
+	}
+}

@@ -224,6 +224,9 @@ type State struct {
 // and returns the TEME state.
 func (p *Propagator) PropagateMinutes(tsince float64) (State, error) {
 	sgp4Calls.Add(1)
+	if m := metrics.Load(); m != nil {
+		m.sgp4Calls.Inc()
+	}
 	var s State
 
 	// Secular gravity and atmospheric drag.

@@ -3,6 +3,8 @@ package service
 import (
 	"container/list"
 	"sync"
+
+	"github.com/sinet-io/sinet/internal/obs"
 )
 
 // Cache is the content-addressed result cache: serialized campaign results
@@ -17,6 +19,11 @@ type Cache struct {
 	items  map[Key]*list.Element
 
 	hits, misses, evictions uint64
+
+	// Optional telemetry mirrors of the counters above, nil until
+	// instrument installs them. Nil-safe obs methods keep Get/Put
+	// branch-free and allocation-free when telemetry is off.
+	mHits, mMisses, mEvictions *obs.Counter
 }
 
 type cacheEntry struct {
@@ -38,9 +45,11 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		c.mMisses.Inc()
 		return nil, false
 	}
 	c.hits++
+	c.mHits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).data, true
 }
@@ -73,7 +82,33 @@ func (c *Cache) Put(key Key, data []byte) {
 		delete(c.items, ent.key)
 		c.size -= int64(len(ent.data))
 		c.evictions++
+		c.mEvictions.Inc()
 	}
+}
+
+// instrument registers the cache's telemetry into r: hit/miss/eviction
+// counters plus size gauges sampled from the authoritative fields at
+// scrape time. Call before the cache sees traffic (New does); the
+// internal uint64 counters stay the source of truth for Stats.
+func (c *Cache) instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.mu.Lock()
+	c.mHits = r.Counter("sinet_cache_hits_total", "Result-cache lookups answered from memory.")
+	c.mMisses = r.Counter("sinet_cache_misses_total", "Result-cache lookups that required a simulation.")
+	c.mEvictions = r.Counter("sinet_cache_evictions_total", "Result-cache entries evicted against the byte budget.")
+	c.mu.Unlock()
+	r.GaugeFunc("sinet_cache_bytes", "Bytes of cached campaign results.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.size)
+	})
+	r.GaugeFunc("sinet_cache_entries", "Cached campaign results.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.items))
+	})
 }
 
 // CacheStats is a point-in-time cache health snapshot.

@@ -103,6 +103,25 @@ func (j *Job) State() State {
 	return j.state
 }
 
+// runtime returns the wall time from worker pickup to terminal state
+// (zero while running, and for jobs that never ran: cache hits,
+// canceled-while-queued).
+func (j *Job) runtime() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() || j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
+}
+
+// ErrorText returns the terminal error message ("" when none).
+func (j *Job) ErrorText() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
 // Result returns the serialized result and whether the job is done.
 func (j *Job) Result() ([]byte, bool) {
 	j.mu.Lock()
@@ -215,19 +234,24 @@ func (j *Job) begin(base context.Context) (context.Context, bool) {
 
 // requestCancel asks the job to stop. A queued job cancels immediately; a
 // running one has its context cancelled and reaches the canceled state
-// when the campaign unwinds. Terminal jobs are unaffected.
-func (j *Job) requestCancel() {
+// when the campaign unwinds. Terminal jobs are unaffected. It reports
+// whether this call itself finished the job (queued → canceled), so the
+// caller can account for the terminal transition — running jobs reach
+// their terminal state on the worker instead.
+func (j *Job) requestCancel() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch {
 	case j.state == StateQueued:
 		j.finishLocked(StateCanceled, nil, context.Canceled.Error(), false)
+		return true
 	case j.state == StateRunning:
 		j.cancelRequested = true
 		if j.cancel != nil {
 			j.cancel()
 		}
 	}
+	return false
 }
 
 // CancelRequested reports whether a cancel was asked for while running.

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"strconv"
+
+	"github.com/sinet-io/sinet/internal/obs"
+)
+
+// serverMetrics is the serving layer's telemetry, created once in New
+// when a registry is configured. A nil *serverMetrics (no registry) makes
+// every observe method a no-op, keeping the job path allocation-free.
+type serverMetrics struct {
+	admission   *obs.CounterVec   // HTTP submissions by response code
+	dedup       *obs.Counter      // singleflight attachments
+	simulations *obs.Counter      // campaigns handed to the runner
+	finished    *obs.CounterVec   // terminal jobs by state
+	campaign    *obs.HistogramVec // campaign wall time by kind
+	sse         *obs.Gauge        // live event-stream subscribers
+}
+
+// newServerMetrics registers the serving metrics into r and samples the
+// server's authoritative state (jobs map, queue channel, cache) through
+// GaugeFuncs, so gauges can never drift from the structures they report
+// on. Known label values are pre-created so a scrape taken before any
+// traffic already exposes every series a dashboard will want.
+func newServerMetrics(r *obs.Registry, s *Server) *serverMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &serverMetrics{
+		admission:   r.CounterVec("sinet_admission_total", "Job submissions over HTTP by response code.", "code"),
+		dedup:       r.Counter("sinet_dedup_total", "Submissions attached to an identical in-flight job (singleflight)."),
+		simulations: r.Counter("sinet_simulations_total", "Campaigns handed to the simulation runner."),
+		finished:    r.CounterVec("sinet_jobs_finished_total", "Jobs reaching a terminal state, by state.", "state"),
+		campaign:    r.HistogramVec("sinet_campaign_seconds", "Campaign wall time from worker pickup to terminal state, by kind.", "kind", obs.DurationBuckets),
+		sse:         r.Gauge("sinet_sse_subscribers", "Open SSE progress streams."),
+	}
+	for _, code := range []int{202, 400, 429, 500, 503} {
+		m.admission.With(strconv.Itoa(code))
+	}
+	for _, state := range []State{StateDone, StateFailed, StateCanceled} {
+		m.finished.With(string(state))
+	}
+	for _, kind := range []string{KindPassive, KindActive, KindCoverage, KindBackhaul} {
+		m.campaign.With(kind)
+	}
+
+	r.GaugeFunc("sinet_jobs_queued", "Jobs waiting for a worker.", func() float64 {
+		return float64(s.countJobs(StateQueued))
+	})
+	r.GaugeFunc("sinet_jobs_running", "Jobs executing on a worker.", func() float64 {
+		return float64(s.countJobs(StateRunning))
+	})
+	r.GaugeFunc("sinet_queue_depth", "Occupied slots in the admission queue.", func() float64 {
+		return float64(len(s.queue))
+	})
+	r.GaugeFunc("sinet_queue_capacity", "Configured admission queue bound.", func() float64 {
+		return float64(cap(s.queue))
+	})
+	s.cache.instrument(r)
+	return m
+}
+
+// observeAdmission counts one HTTP submission outcome.
+func (m *serverMetrics) observeAdmission(code int) {
+	if m != nil {
+		m.admission.With(strconv.Itoa(code)).Inc()
+	}
+}
+
+// observeDedup counts one singleflight attachment.
+func (m *serverMetrics) observeDedup() {
+	if m != nil {
+		m.dedup.Inc()
+	}
+}
+
+// observeRun counts one campaign handed to the runner.
+func (m *serverMetrics) observeRun() {
+	if m != nil {
+		m.simulations.Inc()
+	}
+}
+
+// observeFinished counts one terminal job and, for worker-executed jobs
+// (seconds > 0), its wall time under the campaign-kind histogram.
+func (m *serverMetrics) observeFinished(kind string, state State, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.finished.With(string(state)).Inc()
+	if seconds > 0 {
+		m.campaign.With(kind).Observe(seconds)
+	}
+}
+
+// sseConnect tracks one subscriber for the duration of its stream; the
+// returned func must be deferred.
+func (m *serverMetrics) sseConnect() func() {
+	if m == nil {
+		return func() {}
+	}
+	m.sse.Inc()
+	return m.sse.Dec
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -12,6 +13,9 @@ import (
 	"time"
 
 	"github.com/sinet-io/sinet/internal/core"
+	"github.com/sinet-io/sinet/internal/obs"
+	"github.com/sinet-io/sinet/internal/orbit"
+	"github.com/sinet-io/sinet/internal/sim"
 )
 
 // Admission errors mapped to HTTP statuses by the handler layer.
@@ -42,14 +46,27 @@ type Config struct {
 	CacheBytes int64
 	// Runner overrides the campaign executor (nil = Run).
 	Runner RunnerFunc
+	// Metrics, when non-nil, receives the serving telemetry (jobs,
+	// queue, admission, cache, campaign durations) and is served at
+	// GET /metrics. New also installs the orbit and sim instruments
+	// into it — those hooks are process-global, so the registry of the
+	// most recently created server observes propagation counters.
+	// Nil runs fully uninstrumented: zero allocations on job paths.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives structured request and
+	// job-lifecycle logs. Nil logs nothing.
+	Logger *slog.Logger
 }
 
 // Server is the campaign-serving engine: registry, bounded queue, worker
 // pool, result cache and the HTTP API over them.
 type Server struct {
-	cfg    Config
-	cache  *Cache
-	runner RunnerFunc
+	cfg     Config
+	cache   *Cache
+	runner  RunnerFunc
+	metrics *serverMetrics
+	logger  *slog.Logger
+	reqSeq  atomic.Uint64
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -83,12 +100,21 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		cache:      NewCache(cfg.CacheBytes),
 		runner:     cfg.Runner,
+		logger:     cfg.Logger,
 		jobs:       map[string]*Job{},
 		inflight:   map[Key]*Job{},
 		queue:      make(chan *Job, cfg.QueueDepth),
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		started:    time.Now().UTC(),
+	}
+	// Telemetry wires up before the workers start so no job can race the
+	// registration; the orbit/sim hooks are process-global (see
+	// Config.Metrics) and only observe, never perturb, simulations.
+	s.metrics = newServerMetrics(cfg.Metrics, s)
+	if cfg.Metrics != nil {
+		orbit.SetMetrics(cfg.Metrics)
+		sim.SetMetrics(cfg.Metrics)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -114,6 +140,8 @@ func (s *Server) Submit(spec *JobSpec) (job *Job, deduped bool, err error) {
 	// Singleflight: identical submissions while one is queued or running
 	// attach to that execution — N clients, one simulation.
 	if existing, ok := s.inflight[key]; ok {
+		s.metrics.observeDedup()
+		s.logJob(existing, "job deduped")
 		return existing, true, nil
 	}
 	s.seq++
@@ -124,6 +152,8 @@ func (s *Server) Submit(spec *JobSpec) (job *Job, deduped bool, err error) {
 		// bytes; no queue slot, no worker, no simulation.
 		j.finish(StateDone, data, "", true)
 		s.jobs[id] = j
+		s.metrics.observeFinished(spec.Kind, StateDone, 0)
+		s.logJob(j, "job served from cache", slog.Int("bytes", len(data)))
 		return j, false, nil
 	}
 	select {
@@ -133,7 +163,35 @@ func (s *Server) Submit(spec *JobSpec) (job *Job, deduped bool, err error) {
 	}
 	s.jobs[id] = j
 	s.inflight[key] = j
+	s.logJob(j, "job queued")
 	return j, false, nil
+}
+
+// logJob emits one job-lifecycle log line when logging is configured.
+func (s *Server) logJob(j *Job, msg string, attrs ...slog.Attr) {
+	if s.logger == nil {
+		return
+	}
+	base := []slog.Attr{
+		slog.String("job", j.ID),
+		slog.String("kind", j.Spec.Kind),
+		slog.String("key", j.Key.Short()),
+	}
+	s.logger.LogAttrs(context.Background(), slog.LevelInfo, msg, append(base, attrs...)...)
+}
+
+// countJobs counts registered jobs in one state; the jobs-by-state
+// gauges sample it at scrape time.
+func (s *Server) countJobs(state State) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.State() == state {
+			n++
+		}
+	}
+	return n
 }
 
 // Job looks up a job by ID.
@@ -150,7 +208,12 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 	if !ok {
 		return nil, false
 	}
-	j.requestCancel()
+	if j.requestCancel() {
+		// Canceled straight out of the queue: no worker will ever see
+		// this job, so account for its terminal transition here.
+		s.metrics.observeFinished(j.Spec.Kind, StateCanceled, 0)
+	}
+	s.logJob(j, "job cancel requested")
 	s.forgetInflight(j)
 	return j, true
 }
@@ -189,6 +252,17 @@ func (s *Server) execute(j *Job) {
 		return
 	}
 	s.simulations.Add(1)
+	s.metrics.observeRun()
+	s.logJob(j, "job running")
+	defer func() {
+		// Observation happens after the terminal transition so the
+		// recorded duration spans worker pickup to terminal state.
+		s.metrics.observeFinished(j.Spec.Kind, j.State(), j.runtime().Seconds())
+		s.logJob(j, "job finished",
+			slog.String("state", string(j.State())),
+			slog.Duration("took", j.runtime()),
+			slog.String("error", j.ErrorText()))
+	}()
 	res, err := s.runner(ctx, j.Spec, j.setProgress)
 	if err != nil {
 		if errors.Is(err, context.Canceled) && (j.CancelRequested() || s.baseCtx.Err() != nil) {
@@ -215,6 +289,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	if s.logger != nil {
+		s.logger.Info("draining", slog.Int("queued", len(s.queue)))
+	}
 	s.cancelBase()
 	// Drain whatever is still queued; workers racing this loop mark the
 	// same jobs canceled through the already-dead base context, so both
@@ -222,7 +299,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for {
 		select {
 		case j := <-s.queue:
-			j.requestCancel()
+			if j.requestCancel() {
+				s.metrics.observeFinished(j.Spec.Kind, StateCanceled, 0)
+			}
 			s.forgetInflight(j)
 			continue
 		default:
@@ -236,6 +315,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.logger != nil {
+			s.logger.Info("drained")
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -294,6 +376,10 @@ func (s *Server) Stats() Stats {
 //	GET    /v1/jobs/{id}/events SSE progress stream     → text/event-stream
 //	GET    /v1/stats            serving health          → 200 Stats
 //	GET    /healthz             liveness                → 200 always
+//	GET    /metrics             Prometheus scrape       → (when Config.Metrics is set)
+//
+// With Config.Logger set, every request is logged with a process-unique
+// request ID, method, path, status and duration.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -303,7 +389,53 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	if s.cfg.Metrics != nil {
+		mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
+	}
+	if s.logger == nil {
+		return mux
+	}
+	return s.logRequests(mux)
+}
+
+// statusWriter captures the response status for the request log while
+// passing Flush through so SSE streaming keeps working behind it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logRequests wraps next with structured request logging. Each request
+// gets a process-unique ID; scrape and liveness polls log at Debug so an
+// Info-level daemon isn't drowned by its own monitoring.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		id := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		level := slog.LevelInfo
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			level = slog.LevelDebug
+		}
+		s.logger.LogAttrs(r.Context(), level, "request",
+			slog.String("req", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("took", time.Since(start)))
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -329,25 +461,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		s.metrics.observeAdmission(http.StatusBadRequest)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
 		return
 	}
 	job, deduped, err := s.Submit(&spec)
 	switch {
 	case errors.Is(err, ErrDraining):
+		s.metrics.observeAdmission(http.StatusServiceUnavailable)
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrQueueFull):
+		s.metrics.observeAdmission(http.StatusTooManyRequests)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrBadSpec):
+		s.metrics.observeAdmission(http.StatusBadRequest)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	case err != nil:
+		s.metrics.observeAdmission(http.StatusInternalServerError)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.metrics.observeAdmission(http.StatusAccepted)
 	writeJSON(w, http.StatusAccepted, SubmitResponse{JobView: job.View(), Deduped: deduped})
 }
 
@@ -418,6 +556,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	ch, unsubscribe := job.Subscribe()
 	defer unsubscribe()
+	defer s.metrics.sseConnect()()
 	// Initial snapshot so late subscribers see where the job stands.
 	snapshot := func() Event {
 		v := job.View()

@@ -601,7 +601,7 @@ func runBackhaul(ctx context.Context, b *BackhaulSpec, progress core.ProgressFun
 			progress("satellites", completed, total)
 		}
 	}
-	if err := sim.ForEachErrProgress(len(props), func(i int) error {
+	if err := sim.ForEachPhase("satellites", len(props), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}

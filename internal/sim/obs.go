@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/obs"
+)
+
+// simMetrics bundles the fan-out telemetry so one atomic pointer covers
+// install/uninstall: either every instrument is live or none is.
+type simMetrics struct {
+	tasks  *obs.Counter
+	panics *obs.Counter
+	phase  *obs.HistogramVec
+}
+
+// metrics is the process-wide installed telemetry (nil = uninstrumented).
+var metrics atomic.Pointer[simMetrics]
+
+// SetMetrics installs worker-pool telemetry into r:
+//
+//	sinet_sim_tasks_total    ForEach work items executed
+//	sinet_sim_panics_total   worker panics recovered into *PanicError
+//	sinet_sim_phase_seconds  wall time of named campaign phases (histogram)
+//
+// The installation is process-wide, matching orbit.SetMetrics. A nil r
+// uninstalls. Telemetry never perturbs execution: counters are bumped
+// after each work item completes and phase timing wraps the whole
+// fan-out, so index assignment, RNG streams and merge order are
+// untouched — the uninstrumented and instrumented runs are byte-identical.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&simMetrics{
+		tasks:  r.Counter("sinet_sim_tasks_total", "Work items executed by the ForEach worker pool."),
+		panics: r.Counter("sinet_sim_panics_total", "Worker panics recovered into attributed errors."),
+		phase:  r.HistogramVec("sinet_sim_phase_seconds", "Wall time of named campaign phases.", "phase", obs.DurationBuckets),
+	})
+}
+
+// ForEachPhase is ForEachErrProgress with the fan-out attributed to a
+// named campaign phase: when telemetry is installed the whole fan-out's
+// wall time is observed into sinet_sim_phase_seconds{phase=...}. With no
+// registry installed it degrades to exactly ForEachErrProgress — not even
+// the clock is read.
+func ForEachPhase(phase string, n int, fn func(i int) error, onDone func(completed, total int)) error {
+	m := metrics.Load()
+	if m == nil || phase == "" {
+		return ForEachErrProgress(n, fn, onDone)
+	}
+	start := time.Now()
+	err := ForEachErrProgress(n, fn, onDone)
+	m.phase.With(phase).Observe(time.Since(start).Seconds())
+	return err
+}

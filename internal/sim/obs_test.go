@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/sinet-io/sinet/internal/obs"
+)
+
+// TestForEachTelemetry verifies the pool counts executed tasks and
+// recovered panics, and the phase histogram records one observation per
+// named fan-out.
+func TestForEachTelemetry(t *testing.T) {
+	r := obs.New()
+	SetMetrics(r)
+	defer SetMetrics(nil)
+	tasks := r.Counter("sinet_sim_tasks_total", "")
+	panics := r.Counter("sinet_sim_panics_total", "")
+	phase := r.HistogramVec("sinet_sim_phase_seconds", "", "phase", obs.DurationBuckets)
+
+	if err := ForEachPhase("build", 8, func(i int) error { return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tasks.Value(); got != 8 {
+		t.Errorf("tasks = %d, want 8", got)
+	}
+	if got := phase.With("build").Count(); got != 1 {
+		t.Errorf("phase observations = %d, want 1", got)
+	}
+
+	err := ForEachPhase("crashy", 4, func(i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		return nil
+	}, nil)
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("want PanicError on index 2, got %v", err)
+	}
+	if got := panics.Value(); got != 1 {
+		t.Errorf("panics = %d, want 1", got)
+	}
+	if got := tasks.Value(); got != 12 {
+		t.Errorf("a panicking task still counts as executed: tasks = %d, want 12", got)
+	}
+}
+
+// TestForEachPhaseUninstalled verifies ForEachPhase without a registry
+// runs the fan-out untouched and records nothing anywhere.
+func TestForEachPhaseUninstalled(t *testing.T) {
+	SetMetrics(nil)
+	hits := make([]bool, 5)
+	if err := ForEachPhase("quiet", 5, func(i int) error { hits[i] = true; return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if !h {
+			t.Errorf("index %d never ran", i)
+		}
+	}
+}

@@ -58,12 +58,19 @@ func ForEachErrProgress(n int, fn func(i int) error, onDone func(completed, tota
 		return nil
 	}
 	errs := make([]error, n)
+	m := metrics.Load()
 	var progressMu sync.Mutex
 	completed := 0
 	call := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				errs[i] = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+				if m != nil {
+					m.panics.Inc()
+				}
+			}
+			if m != nil {
+				m.tasks.Inc()
 			}
 			if onDone != nil {
 				progressMu.Lock()
