@@ -54,6 +54,7 @@ func run(args []string, stdout io.Writer) error {
 	stationMTBF := fs.Duration("station-mtbf", 0, "inject station churn: mean up-time between failures (requires -station-mttr)")
 	stationMTTR := fs.Duration("station-mttr", 0, "inject station churn: mean down-time per failure (requires -station-mtbf)")
 	telemetry := fs.Bool("telemetry", false, "collect campaign telemetry and print a Prometheus-format snapshot after the run")
+	exact := fs.Bool("exact", false, "disable ephemeris interpolation: propagate every query exactly (slower, reproduces pre-interpolation output byte for byte)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +74,7 @@ func run(args []string, stdout io.Writer) error {
 		Start:          start,
 		Days:           *days,
 		HonorSiteStart: *honorStart,
+		ExactEphemeris: *exact,
 	}
 	if *stationMTBF > 0 {
 		cfg.Faults = &sinet.FaultConfig{StationMTBF: *stationMTBF, StationMTTR: *stationMTTR}

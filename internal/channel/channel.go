@@ -131,6 +131,14 @@ type Model struct {
 	lastAt     time.Time
 	lastShadow float64
 	haveState  bool
+
+	// Memoized AR(1) coefficients for the last inter-sample gap. Beacons
+	// arrive on a fixed cadence, so consecutive gaps repeat and the
+	// exp/sqrt pair can be reused verbatim.
+	lastDt       time.Duration
+	lastRho      float64
+	lastInnovStd float64
+	haveRho      bool
 }
 
 // NewModel builds a channel model drawing from the given RNG stream.
@@ -150,8 +158,13 @@ func (m *Model) shadowAt(at time.Time, sigma float64) float64 {
 		return m.lastShadow
 	}
 	dt := at.Sub(m.lastAt)
-	rho := math.Exp(-dt.Seconds() / m.ShadowCoherence.Seconds())
-	m.lastShadow = rho*m.lastShadow + math.Sqrt(1-rho*rho)*m.rng.LogNormalDB(sigma)
+	if !m.haveRho || dt != m.lastDt {
+		m.lastRho = math.Exp(-dt.Seconds() / m.ShadowCoherence.Seconds())
+		m.lastInnovStd = math.Sqrt(1 - m.lastRho*m.lastRho)
+		m.lastDt = dt
+		m.haveRho = true
+	}
+	m.lastShadow = m.lastRho*m.lastShadow + m.lastInnovStd*m.rng.LogNormalDB(sigma)
 	m.lastAt = at
 	return m.lastShadow
 }

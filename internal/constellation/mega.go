@@ -1,0 +1,116 @@
+package constellation
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/orbit"
+)
+
+// ShellSpec describes one Walker-delta shell of a synthetic
+// mega-constellation: Count satellites spread over Planes equally spaced
+// RAAN planes at a common altitude and inclination.
+type ShellSpec struct {
+	Name    string
+	Count   int
+	AltKm   float64
+	InclDeg float64
+	Planes  int
+}
+
+// megaShells are the reference shells of a Starlink-class Gen1 deployment
+// (counts and geometry rounded from public filings). Mega scales the
+// per-shell counts proportionally to the requested fleet size, so a
+// 1k-satellite fleet keeps the same shell mix as a 10k one.
+var megaShells = []ShellSpec{
+	{Name: "MEGA-A", Count: 1584, AltKm: 550, InclDeg: 53.0, Planes: 72},
+	{Name: "MEGA-B", Count: 1584, AltKm: 540, InclDeg: 53.2, Planes: 72},
+	{Name: "MEGA-C", Count: 720, AltKm: 570, InclDeg: 70.0, Planes: 36},
+	{Name: "MEGA-D", Count: 348, AltKm: 560, InclDeg: 97.6, Planes: 6},
+	{Name: "MEGA-E", Count: 172, AltKm: 560, InclDeg: 97.6, Planes: 4},
+}
+
+// megaFirstID anchors mega-constellation catalog numbers well clear of the
+// Table 3 fleets (91000–94999).
+const megaFirstID = 80000
+
+// Mega synthesizes an n-satellite Starlink-class LEO mega-constellation at
+// the given epoch: Walker-delta shells at 540–570 km whose per-shell counts
+// scale proportionally with n. It exists to exercise the ephemeris and
+// pass-search hot paths at 1k–10k satellites — far beyond the paper's
+// 39-satellite catalog — while staying deterministic: the same (epoch, n)
+// always yields the same element sets.
+func Mega(epoch time.Time, n int) Constellation {
+	if n < 1 {
+		n = 1
+	}
+	ref := 0
+	for _, s := range megaShells {
+		ref += s.Count
+	}
+	sats := make([]orbit.Elements, 0, n)
+	firstID := megaFirstID
+	remaining := n
+	for si, shell := range megaShells {
+		count := shell.Count * n / ref
+		if si == len(megaShells)-1 {
+			count = remaining // last shell absorbs rounding residue
+		}
+		if count > remaining {
+			count = remaining
+		}
+		if count <= 0 {
+			continue
+		}
+		planes := shell.Planes
+		if planes > count {
+			planes = count
+		}
+		sats = append(sats, walkerShell(shell, count, planes, epoch, firstID)...)
+		firstID += count
+		remaining -= count
+	}
+	return Constellation{
+		Name:               fmt.Sprintf("Mega[%d]", n),
+		Operator:           "synthetic",
+		Region:             "global",
+		FreqMHz:            401.5,
+		BeaconInterval:     30 * time.Second,
+		BeaconPayloadBytes: 24,
+		TxPowerDBm:         24,
+		Sats:               sats,
+	}
+}
+
+// walkerShell synthesizes one Walker-delta shell: count satellites over
+// planes equally spaced RAAN planes, slots evenly phased in mean anomaly
+// within each plane, with the standard inter-plane phasing offset
+// (F=1 relative spacing) so adjacent planes interleave rather than march
+// in lockstep.
+func walkerShell(s ShellSpec, count, planes int, epoch time.Time, firstID int) []orbit.Elements {
+	els := make([]orbit.Elements, 0, count)
+	perPlane := (count + planes - 1) / planes
+	incl := s.InclDeg * math.Pi / 180
+	mm := orbit.MeanMotionFromAltitude(s.AltKm)
+	for i := 0; i < count; i++ {
+		plane := i / perPlane
+		slot := i % perPlane
+		raan := 2 * math.Pi * float64(plane) / float64(planes)
+		ma := 2*math.Pi*float64(slot)/float64(perPlane) +
+			2*math.Pi*float64(plane)/float64(planes*perPlane)
+		els = append(els, orbit.Elements{
+			NoradID:      firstID + i,
+			Name:         fmt.Sprintf("%s-%04d", s.Name, i+1),
+			Epoch:        epoch,
+			Inclination:  incl,
+			RAAN:         math.Mod(raan, 2*math.Pi),
+			Eccentricity: 0.0008,
+			ArgPerigee:   math.Mod(1.2+raan/3, 2*math.Pi),
+			MeanAnomaly:  math.Mod(ma, 2*math.Pi),
+			MeanMotion:   mm,
+			BStar:        3e-5,
+		})
+	}
+	return els
+}

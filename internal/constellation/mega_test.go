@@ -1,0 +1,56 @@
+package constellation
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+var megaEpoch = time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestMegaExactSizeAndUniqueIDs(t *testing.T) {
+	for _, n := range []int{1, 39, 100, 1000, 4408} {
+		c := Mega(megaEpoch, n)
+		if c.Size() != n {
+			t.Fatalf("Mega(%d) produced %d satellites", n, c.Size())
+		}
+		seen := make(map[int]bool, n)
+		for _, s := range c.Sats {
+			if seen[s.NoradID] {
+				t.Fatalf("Mega(%d): duplicate NoradID %d", n, s.NoradID)
+			}
+			if s.NoradID < megaFirstID || s.NoradID >= 91000 {
+				t.Fatalf("Mega(%d): NoradID %d collides with the Table 3 catalog range", n, s.NoradID)
+			}
+			seen[s.NoradID] = true
+		}
+	}
+}
+
+func TestMegaPropagatesAndStaysInShellBand(t *testing.T) {
+	c := Mega(megaEpoch, 200)
+	props, err := c.Propagators()
+	if err != nil {
+		t.Fatalf("Propagators: %v", err)
+	}
+	for i, p := range props {
+		gd, err := p.Subpoint(megaEpoch.Add(45 * time.Minute))
+		if err != nil {
+			t.Fatalf("sat %d: %v", i, err)
+		}
+		if gd.Alt < 450 || gd.Alt > 650 {
+			t.Fatalf("sat %d altitude %.1f km outside the 540-570 km shell band", i, gd.Alt)
+		}
+	}
+	if alt := c.MeanAltitudeKm(); alt < 530 || alt > 580 {
+		t.Fatalf("mean altitude %.1f km outside shell band", alt)
+	}
+}
+
+func TestMegaDeterministic(t *testing.T) {
+	a := Mega(megaEpoch, 500)
+	b := Mega(megaEpoch, 500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Mega is not deterministic for identical (epoch, n)")
+	}
+}

@@ -75,6 +75,14 @@ type ActiveConfig struct {
 	// drain-station outages); nil — the default — reproduces pre-fault
 	// results byte-identically.
 	Faults *fault.Config
+	// ExactEphemeris disables Hermite interpolation for off-grid satellite
+	// state queries, answering them with exact SGP4 instead — bit-identical
+	// to sampling the propagator directly, at the cost of the propagation
+	// savings (see orbit.EphemerisConfig.Exact).
+	ExactEphemeris bool
+	// MaxInterpErrorKm bounds the interpolation position error when
+	// ExactEphemeris is false (0 = orbit.DefaultMaxInterpErrorKm).
+	MaxInterpErrorKm float64
 	// Progress observes the campaign's phases ("plan" as per-satellite
 	// schedules build, then "simulate" per elapsed campaign day); nil
 	// observes nothing. It never influences results and is excluded from
@@ -343,11 +351,18 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 
 	// Per-satellite prediction (passes, beacon times, downlink drains) is
 	// independent, SGP4-dominated work, so it fans out across workers into
-	// index-addressed slots; each worker samples its own ephemeris so the
-	// plantation pass search and the 12-station downlink search share the
+	// index-addressed slots. All workers fill rows of one shared
+	// struct-of-arrays ephemeris grid — each owns its row index, so the
+	// fan-out never races — and the plantation pass search, the 12-station
+	// downlink search, and the event-time gateway geometry all read the
 	// same trajectory samples. The engine scheduling below replays the
 	// slots serially in catalog order, so the event queue — and therefore
 	// the whole campaign — is identical to a serial build.
+	grid := orbit.NewEphemerisGrid(props, cfg.Start, horizon, orbit.EphemerisConfig{
+		ScanStep:         time.Minute,
+		Exact:            cfg.ExactEphemeris,
+		MaxInterpErrorKm: cfg.MaxInterpErrorKm,
+	})
 	type satPlan struct {
 		gw      *satellite.Gateway
 		beacons [][]time.Time
@@ -361,9 +376,10 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 			return err
 		}
 		plan := &plans[i]
-		plan.gw = satellite.NewGateway(props[i].Clone(), cons.BeaconInterval, cfg.SatBufferCapacity)
+		grid.Propagate(i)
+		eph := grid.Sat(i)
+		plan.gw = satellite.NewGateway(eph, cons.BeaconInterval, cfg.SatBufferCapacity)
 
-		eph := orbit.NewEphemeris(props[i], cfg.Start, horizon, time.Minute)
 		pp := orbit.NewEphemerisPredictor(eph)
 		passes := pp.Passes(site, cfg.Start, end, 0)
 		if cfg.ScheduleAwareMinElevationRad > 0 {
@@ -400,6 +416,7 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 	}, cfg.Progress.phase("plan")); err != nil {
 		return nil, err
 	}
+	grid.Finish()
 	for i := range plans {
 		gw := plans[i].gw
 		r.gateways[gw.NoradID] = gw

@@ -49,18 +49,21 @@ func RevisitAnalysisCtx(ctx context.Context, cons constellation.Constellation, l
 	}
 	end := start.Add(time.Duration(days) * 24 * time.Hour)
 
-	// Sample each satellite's trajectory once; every latitude's pass
-	// search then reads the shared grid instead of re-propagating.
-	ephs := make([]*orbit.Ephemeris, len(props))
-	if err := sim.ForEachPhase("ephemeris", len(props), func(i int) error {
+	// Sample the whole constellation once into a shared struct-of-arrays
+	// grid; every latitude's pass search then reads the grid instead of
+	// re-propagating. Workers each fill their own row index, so the
+	// fan-out never races.
+	grid := orbit.NewEphemerisGrid(props, start, end, orbit.EphemerisConfig{ScanStep: time.Minute})
+	if err := sim.ForEachPhase("ephemeris", grid.Sats(), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		ephs[i] = orbit.NewEphemeris(props[i], start, end, time.Minute)
+		grid.Propagate(i)
 		return nil
 	}, progress.phase("ephemeris")); err != nil {
 		return nil, err
 	}
+	grid.Finish()
 
 	out := make([]RevisitStats, len(latitudesDeg))
 	if err := sim.ForEachPhase("latitudes", len(latitudesDeg), func(li int) error {
@@ -68,10 +71,13 @@ func RevisitAnalysisCtx(ctx context.Context, cons constellation.Constellation, l
 			return err
 		}
 		site := orbit.NewGeodeticDeg(latitudesDeg[li], 0, 0)
-		var passes []orbit.Pass
-		for _, eph := range ephs {
-			pp := orbit.NewEphemerisPredictor(eph)
-			passes = append(passes, pp.Passes(site, start, end, 0)...)
+		passes := make([]orbit.Pass, 0, 256)
+		if grid.Sats() > 0 {
+			pp := orbit.NewEphemerisPredictor(grid.Sat(0))
+			for i := 0; i < grid.Sats(); i++ {
+				pp.SetSource(grid.Sat(i))
+				passes = pp.PassesAppend(passes, site, start, end, 0)
+			}
 		}
 		windows := orbit.MergeWindows(passes)
 		gaps := orbit.Gaps(windows)

@@ -37,6 +37,15 @@ type PassiveConfig struct {
 	MinElevationRad float64
 	// CoarseStep is the pass-search scan step (default 60 s).
 	CoarseStep time.Duration
+	// ExactEphemeris disables Hermite interpolation in the shared
+	// ephemeris grids: every off-grid query falls back to exact SGP4,
+	// reproducing pre-interpolation campaign outputs byte-identically at
+	// a large propagation cost.
+	ExactEphemeris bool
+	// MaxInterpErrorKm bounds the positional error of interpolated
+	// ephemeris queries (default orbit.DefaultMaxInterpErrorKm; ignored
+	// when ExactEphemeris is set).
+	MaxInterpErrorKm float64
 	// HonorSiteStart delays each site to its Table 1 start month when the
 	// campaign window begins earlier.
 	HonorSiteStart bool
@@ -182,7 +191,7 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 		weather  WeatherProvider
 		outages  map[string][]orbit.Window
 	}
-	var siteCtxs []siteCtx
+	siteCtxs := make([]siteCtx, 0, len(cfg.Sites))
 	for _, site := range cfg.Sites {
 		start := cfg.Start
 		if cfg.HonorSiteStart && site.StartMonth.After(start) {
@@ -215,22 +224,40 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 		siteCtxs = append(siteCtxs, sc)
 	}
 
-	// One ephemeris per satellite, shared by every site: the satellite
-	// state at a timestep is site-independent, so sampling it once turns
-	// O(sats × sites × steps) propagations into O(sats × steps). Grids
-	// anchor at cfg.Start; a site whose scan starts a whole number of
-	// steps later (the Table 1 month boundaries always do) still hits the
-	// samples, and any misaligned query falls back to exact SGP4.
+	// One ephemeris grid per constellation, shared by every site: the
+	// satellite state at a timestep is site-independent, so sampling it
+	// once turns O(sats × sites × steps) propagations into
+	// O(sats × steps) — and the grid's struct-of-arrays storage samples
+	// the whole constellation into six contiguous arrays instead of
+	// per-satellite slices. Grids anchor at cfg.Start; a site whose scan
+	// starts a whole number of steps later (the Table 1 month boundaries
+	// always do) still hits the samples, and any misaligned query is
+	// answered by the bounded-error interpolant (or exact SGP4 under
+	// ExactEphemeris).
+	ephCfg := orbit.EphemerisConfig{
+		ScanStep:         cfg.CoarseStep,
+		Exact:            cfg.ExactEphemeris,
+		MaxInterpErrorKm: cfg.MaxInterpErrorKm,
+	}
 	consCtxs := make([]consCtx, len(cfg.Constellations))
 	for ci, cons := range cfg.Constellations {
 		props, err := cons.Propagators()
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		consCtxs[ci] = consCtx{cons: cons, props: props, ephs: make([]*orbit.Ephemeris, len(props))}
+		grid := orbit.NewEphemerisGrid(props, cfg.Start, end, ephCfg)
+		gateways := make(map[int]*satellite.Gateway, len(props))
+		for i, p := range props {
+			gateways[p.Elements().NoradID] = satellite.NewGateway(grid.Sat(i), cons.BeaconInterval, 0)
+		}
+		consCtxs[ci] = consCtx{cons: cons, props: props, grid: grid, gateways: gateways}
 	}
 	type satRef struct{ ci, si int }
-	var sats []satRef
+	nSats := 0
+	for ci := range consCtxs {
+		nSats += len(consCtxs[ci].props)
+	}
+	sats := make([]satRef, 0, nSats)
 	for ci := range consCtxs {
 		for si := range consCtxs[ci].props {
 			sats = append(sats, satRef{ci, si})
@@ -241,11 +268,13 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 			return err
 		}
 		ref := sats[i]
-		cc := &consCtxs[ref.ci]
-		cc.ephs[ref.si] = orbit.NewEphemeris(cc.props[ref.si], cfg.Start, end, cfg.CoarseStep)
+		consCtxs[ref.ci].grid.Propagate(ref.si)
 		return nil
 	}, cfg.Progress.phase("ephemeris")); err != nil {
 		return nil, err
+	}
+	for ci := range consCtxs {
+		consCtxs[ci].grid.Finish()
 	}
 
 	// Fan the (site × constellation) pairs across workers.
@@ -253,13 +282,13 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 		s *siteCtx
 		c *consCtx
 	}
-	var pairs []pairRef
+	pairs := make([]pairRef, 0, len(siteCtxs)*len(consCtxs))
 	for si := range siteCtxs {
 		for ci := range consCtxs {
 			pairs = append(pairs, pairRef{&siteCtxs[si], &consCtxs[ci]})
 		}
 	}
-	units := make([]*passiveUnit, len(pairs))
+	units := make([]passiveUnit, len(pairs))
 	if err := sim.ForEachPhase("contacts", len(pairs), func(i int) error {
 		p := pairs[i]
 		u, err := runPassiveSiteConstellation(ctx, cfg, p.s.site, p.s.stations, p.c, p.s.weather, p.s.start, end, p.s.outages)
@@ -268,21 +297,31 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 	}, cfg.Progress.phase("contacts")); err != nil {
 		return nil, err
 	}
-	for _, u := range units {
-		res.Contacts = append(res.Contacts, u.contacts...)
-		res.Dataset.Records = append(res.Dataset.Records, u.records...)
+	var nContacts, nRecords int
+	for i := range units {
+		nContacts += len(units[i].contacts)
+		nRecords += len(units[i].records)
+	}
+	res.Contacts = make([]ContactStat, 0, nContacts)
+	res.Dataset.Records = make([]trace.Record, 0, nRecords)
+	for i := range units {
+		res.Contacts = append(res.Contacts, units[i].contacts...)
+		res.Dataset.Records = append(res.Dataset.Records, units[i].records...)
 	}
 	res.Dataset.SortByTime()
 	return res, nil
 }
 
-// consCtx bundles one constellation with its shared propagators and
-// per-satellite ephemerides, built once per campaign and read by every
-// (site, constellation) worker.
+// consCtx bundles one constellation with its shared propagators, its
+// batch-sampled ephemeris grid and its gateways, built once per campaign
+// and read by every (site, constellation) worker. The gateways are backed
+// by the grid's shared ephemeris views and used read-only (beacon grids
+// and geometry queries), so sharing them across site workers is safe.
 type consCtx struct {
-	cons  constellation.Constellation
-	props []*orbit.Propagator
-	ephs  []*orbit.Ephemeris
+	cons     constellation.Constellation
+	props    []*orbit.Propagator
+	grid     *orbit.EphemerisGrid
+	gateways map[int]*satellite.Gateway
 }
 
 // passiveUnit is the output of one (site, constellation) worker, merged
@@ -293,27 +332,28 @@ type passiveUnit struct {
 }
 
 // runPassiveSiteConstellation simulates one (site, constellation) pair. It
-// reads the shared ephemerides and clones the shared propagators, so
-// concurrent invocations never share mutable state. Under fault injection
-// the tuning plan is clipped against the per-station outage windows before
-// indexing, so a downed station simply isn't tuned — the effective contact
-// shortfall emerges from churn rather than being modelled directly.
-func runPassiveSiteConstellation(ctx context.Context, cfg PassiveConfig, site Site, stations []groundstation.Station, cc *consCtx, weather WeatherProvider, start, end time.Time, outages map[string][]orbit.Window) (*passiveUnit, error) {
+// reads the constellation's shared ephemeris grid and gateways — both safe
+// for concurrent read-only use — so concurrent invocations never share
+// mutable state. Under fault injection the tuning plan is clipped against
+// the per-station outage windows before indexing, so a downed station
+// simply isn't tuned — the effective contact shortfall emerges from churn
+// rather than being modelled directly.
+func runPassiveSiteConstellation(ctx context.Context, cfg PassiveConfig, site Site, stations []groundstation.Station, cc *consCtx, weather WeatherProvider, start, end time.Time, outages map[string][]orbit.Window) (passiveUnit, error) {
 	cons := cc.cons
 
 	// Predict all passes of the constellation over the site from the
-	// shared ephemerides.
-	var passes []orbit.Pass
-	gateways := make(map[int]*satellite.Gateway, len(cc.props))
-	for i, p := range cc.props {
+	// shared grid, sweeping one reused predictor across the satellites.
+	passes := make([]orbit.Pass, 0, 256)
+	pp := orbit.NewEphemerisPredictor(cc.grid.Sat(0))
+	pp.CoarseStep = cfg.CoarseStep
+	for i := range cc.props {
 		if err := ctx.Err(); err != nil {
-			return &passiveUnit{}, err
+			return passiveUnit{}, err
 		}
-		pp := orbit.NewEphemerisPredictor(cc.ephs[i])
-		pp.CoarseStep = cfg.CoarseStep
-		passes = append(passes, pp.Passes(site.Location, start, end, cfg.MinElevationRad)...)
-		gateways[p.Elements().NoradID] = satellite.NewGateway(p.Clone(), cons.BeaconInterval, 0)
+		pp.SetSource(cc.grid.Sat(i))
+		passes = pp.PassesAppend(passes, site.Location, start, end, cfg.MinElevationRad)
 	}
+	gateways := cc.gateways
 
 	plan := cfg.Scheduler.Plan(stations, passes, start, end)
 	plan = groundstation.ClipAssignments(plan, outages)
@@ -324,16 +364,35 @@ func runPassiveSiteConstellation(ctx context.Context, cfg PassiveConfig, site Si
 	if cfg.Radio != nil {
 		rxParams = *cfg.Radio
 	}
-	links := make(map[string]*radio.Link, len(stations))
-	stationByID := make(map[string]groundstation.Station, len(stations))
-	for _, st := range stations {
+	// A site has a handful of stations, so the per-station state is two
+	// parallel slices with a linear ID lookup — cheaper to build and to
+	// query than string-keyed maps.
+	links := make([]*radio.Link, len(stations))
+	for si, st := range stations {
 		model := channel.NewModel(sim.NewRNG(cfg.Seed, "chan/"+st.ID+"/"+cons.Name))
 		model.ShadowSigmaDB = 1.8
-		links[st.ID] = radio.NewLink(rxParams, DtSDownlinkBudget(cons.TxPowerDBm), model, cons.FreqMHz, sim.NewRNG(cfg.Seed, "rx/"+st.ID+"/"+cons.Name))
-		stationByID[st.ID] = st
+		links[si] = radio.NewLink(rxParams, DtSDownlinkBudget(cons.TxPowerDBm), model, cons.FreqMHz, sim.NewRNG(cfg.Seed, "rx/"+st.ID+"/"+cons.Name))
+	}
+	stationIdx := func(id string) int {
+		for si := range stations {
+			if stations[si].ID == id {
+				return si
+			}
+		}
+		return -1
 	}
 
-	unit := &passiveUnit{}
+	unit := passiveUnit{
+		contacts: make([]ContactStat, 0, len(passes)),
+		records:  make([]trace.Record, 0, 256),
+	}
+	beaconBuf := make([]time.Time, 0, 128)
+	// posArena backs every contact's RxPositions for this unit: each
+	// contact's positions are appended contiguously and published as a
+	// capacity-capped subslice, so the unit performs a few arena growths
+	// instead of one allocation per covered contact. Growth reallocations
+	// are safe: already-published subslices keep their old backing array.
+	posArena := make([]float64, 0, 256)
 	for _, pass := range passes {
 		if err := ctx.Err(); err != nil {
 			return unit, err
@@ -347,14 +406,19 @@ func runPassiveSiteConstellation(ctx context.Context, cfg PassiveConfig, site Si
 			Pass:          pass,
 			WeatherAtTCA:  weather.At(pass.TCA),
 		}
-		for _, bt := range gw.BeaconTimes(pass.AOS, pass.LOS) {
+		beaconBuf = gw.AppendBeaconTimes(beaconBuf[:0], pass.AOS, pass.LOS)
+		posStart := len(posArena)
+		for _, bt := range beaconBuf {
 			// Which station is tuned to this satellite now?
 			a, ok := planIdx.Covering(pass.NoradID, bt)
 			if !ok {
 				continue
 			}
-			st := stationByID[a.StationID]
-			covering := &st
+			si := stationIdx(a.StationID)
+			if si < 0 {
+				continue
+			}
+			covering := &stations[si]
 			stat.Covered = true
 			stat.BeaconsSent++
 
@@ -366,7 +430,7 @@ func runPassiveSiteConstellation(ctx context.Context, cfg PassiveConfig, site Si
 				continue
 			}
 			w := weather.At(bt)
-			rc := links[covering.ID].Transmit(radio.Geometry{
+			rc := links[si].Transmit(radio.Geometry{
 				At:           bt,
 				DistanceKm:   la.RangeKm,
 				ElevationRad: la.Elevation,
@@ -382,7 +446,7 @@ func runPassiveSiteConstellation(ctx context.Context, cfg PassiveConfig, site Si
 			}
 			stat.LastRx = bt
 			if d := pass.Duration(); d > 0 {
-				stat.RxPositions = append(stat.RxPositions, float64(bt.Sub(pass.AOS))/float64(d))
+				posArena = append(posArena, float64(bt.Sub(pass.AOS))/float64(d))
 			}
 
 			alt, _ := gw.AltitudeAt(bt)
@@ -405,6 +469,9 @@ func runPassiveSiteConstellation(ctx context.Context, cfg PassiveConfig, site Si
 				PayloadBytes:  cons.BeaconPayloadBytes,
 				Weather:       w.String(),
 			})
+		}
+		if len(posArena) > posStart {
+			stat.RxPositions = posArena[posStart:len(posArena):len(posArena)]
 		}
 		unit.contacts = append(unit.contacts, stat)
 	}

@@ -79,7 +79,7 @@ func (TrackingScheduler) Plan(stations []Station, passes []orbit.Pass, start, en
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].AOS.Before(sorted[j].AOS) })
 
 	busyUntil := make([]time.Time, len(stations))
-	var out []Assignment
+	out := make([]Assignment, 0, len(sorted))
 	for i := range sorted {
 		p := &sorted[i]
 		if p.LOS.Before(start) || p.AOS.After(end) {

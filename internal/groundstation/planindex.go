@@ -24,26 +24,47 @@ type planEntry struct {
 	maxEnd time.Time
 }
 
-// NewPlanIndex indexes a schedule plan by satellite and start time.
-func NewPlanIndex(plan []Assignment) *PlanIndex {
-	ix := &PlanIndex{bySat: make(map[int][]planEntry)}
-	for i, a := range plan {
-		ix.bySat[a.NoradID] = append(ix.bySat[a.NoradID], planEntry{a: a, order: i})
+// planEntries sorts by (satellite, start, plan order) with a concrete
+// sort.Interface: sort.Slice's reflection-based swapper allocates per call
+// and plan indexing runs once per (site × constellation) worker.
+type planEntries []planEntry
+
+func (s planEntries) Len() int      { return len(s) }
+func (s planEntries) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s planEntries) Less(i, j int) bool {
+	if s[i].a.NoradID != s[j].a.NoradID {
+		return s[i].a.NoradID < s[j].a.NoradID
 	}
-	for _, entries := range ix.bySat {
-		sort.SliceStable(entries, func(i, j int) bool {
-			if !entries[i].a.Start.Equal(entries[j].a.Start) {
-				return entries[i].a.Start.Before(entries[j].a.Start)
-			}
-			return entries[i].order < entries[j].order
-		})
+	if !s[i].a.Start.Equal(s[j].a.Start) {
+		return s[i].a.Start.Before(s[j].a.Start)
+	}
+	return s[i].order < s[j].order
+}
+
+// NewPlanIndex indexes a schedule plan by satellite and start time. All
+// entries live in one flat arena sorted by (satellite, start, plan order);
+// the per-satellite views are capacity-capped subslices of it, so indexing
+// a plan costs a constant number of allocations rather than one append
+// chain per satellite.
+func NewPlanIndex(plan []Assignment) *PlanIndex {
+	entries := make(planEntries, len(plan))
+	for i, a := range plan {
+		entries[i] = planEntry{a: a, order: i}
+	}
+	sort.Sort(entries)
+	ix := &PlanIndex{bySat: make(map[int][]planEntry)}
+	for i := 0; i < len(entries); {
+		id := entries[i].a.NoradID
+		j := i
 		var maxEnd time.Time
-		for i := range entries {
-			if entries[i].a.End.After(maxEnd) {
-				maxEnd = entries[i].a.End
+		for ; j < len(entries) && entries[j].a.NoradID == id; j++ {
+			if entries[j].a.End.After(maxEnd) {
+				maxEnd = entries[j].a.End
 			}
-			entries[i].maxEnd = maxEnd
+			entries[j].maxEnd = maxEnd
 		}
+		ix.bySat[id] = entries[i:j:j]
+		i = j
 	}
 	return ix
 }

@@ -134,7 +134,15 @@ func TEMEToECEF(rTEME Vec3, t time.Time) Vec3 {
 // TEMEToECEFVel rotates a TEME velocity into ECEF, accounting for the frame
 // rotation (v_ecef = R·v_teme − ω×r_ecef).
 func TEMEToECEFVel(rTEME, vTEME Vec3, t time.Time) (rECEF, vECEF Vec3) {
-	theta := GMSTAt(t)
+	return TEMEToECEFVelGMST(rTEME, vTEME, GMSTAt(t))
+}
+
+// TEMEToECEFVelGMST is TEMEToECEFVel with the sidereal angle supplied by
+// the caller. Batch ephemeris construction computes the angle once per
+// time step and shares it across every satellite of a constellation; the
+// arithmetic is identical to TEMEToECEFVel, so the results are
+// bit-identical for the same angle.
+func TEMEToECEFVelGMST(rTEME, vTEME Vec3, theta float64) (rECEF, vECEF Vec3) {
 	rECEF = rotZ(rTEME, theta)
 	vRot := rotZ(vTEME, theta)
 	omega := Vec3{0, 0, EarthRotationRate}
@@ -215,6 +223,39 @@ func (f observerFrame) look(rSatECEF, vSatECEF Vec3) LookAngles {
 	// sight. The observer is fixed in ECEF so its velocity is zero there.
 	rate := rho.Dot(vSatECEF) / rangeKm
 	return LookAngles{Azimuth: az, Elevation: el, RangeKm: rangeKm, RangeRate: rate}
+}
+
+// aboveMask reports whether a satellite at ECEF position rSat sits at or
+// above the elevation mask whose sine (and squared sine) the caller
+// precomputed. Elevation and mask both lie in [-π/2, π/2] where sine is
+// monotone, so el ≥ minEl ⟺ zenith ≥ sin(minEl)·range — a comparison that
+// needs only dot products, no sqrt/asin/atan2. This is the pass scan's
+// per-step predicate: it visits every (site × satellite × step) and
+// dominates mega-constellation searches, so the trigonometry is reserved
+// for the handful of instants that build actual passes.
+func (f observerFrame) aboveMask(rSat Vec3, sinMinEl, sin2MinEl float64) bool {
+	rx := rSat.X - f.rObs.X
+	ry := rSat.Y - f.rObs.Y
+	rz := rSat.Z - f.rObs.Z
+	zenith := f.cosLat*f.cosLon*rx + f.cosLat*f.sinLon*ry + f.sinLat*rz
+	range2 := rx*rx + ry*ry + rz*rz
+	if sinMinEl >= 0 {
+		return zenith >= 0 && zenith*zenith >= sin2MinEl*range2
+	}
+	return zenith >= 0 || zenith*zenith <= sin2MinEl*range2
+}
+
+// elRange returns the elevation and slant range only — the two quantities
+// the TCA sweep of a pass needs per sample. The arithmetic is the el/range
+// subset of look() in the same order, so results are bit-identical to the
+// full computation while skipping the azimuth atan2 and the range-rate
+// projection (and, upstream, the velocity interpolation).
+func (f observerFrame) elRange(rSat Vec3) (el, rangeKm float64) {
+	rho := rSat.Sub(f.rObs)
+	zenith := f.cosLat*f.cosLon*rho.X + f.cosLat*f.sinLon*rho.Y + f.sinLat*rho.Z
+	rangeKm = rho.Norm()
+	el = math.Asin(zenith / rangeKm)
+	return el, rangeKm
 }
 
 // SlantRange returns the distance (km) from observer to a satellite at the

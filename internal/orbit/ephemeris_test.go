@@ -14,10 +14,12 @@ func TestEphemerisMatchesPropagatorBitExact(t *testing.T) {
 	}
 	start := leoElements().Epoch
 	step := 30 * time.Second
-	eph := NewEphemeris(p, start, start.Add(2*time.Hour), step)
+	eph := NewEphemerisWith(p, start, start.Add(2*time.Hour), EphemerisConfig{ScanStep: step, Exact: true})
 
-	// On-grid queries come from the cache; off-grid queries fall back to
-	// exact SGP4. Both must be bit-identical to direct propagation.
+	// In exact mode, on-grid queries come from the cache and off-grid
+	// queries fall back to exact SGP4. Both must be bit-identical to
+	// direct propagation — the escape hatch preserves the
+	// pre-interpolation golden behavior.
 	offsets := []time.Duration{
 		0, step, 17 * step, 240 * step,
 		13 * time.Second, 31*time.Minute + 7*time.Millisecond,
@@ -52,10 +54,92 @@ func TestEphemerisPredictorPassesBitIdentical(t *testing.T) {
 	site := NewGeodeticDeg(22.3, 114.2, 0)
 
 	direct := NewPassPredictor(p).Passes(site, start, end, 0)
-	eph := NewEphemeris(p, start, end, 30*time.Second)
+	eph := NewEphemerisWith(p, start, end, EphemerisConfig{ScanStep: 30 * time.Second, Exact: true})
 	cached := NewEphemerisPredictor(eph).Passes(site, start, end, 0)
 	if !reflect.DeepEqual(direct, cached) {
 		t.Fatalf("cached passes differ from direct passes:\n%v\nvs\n%v", cached, direct)
+	}
+}
+
+func TestEphemerisInterpolationStaysWithinBound(t *testing.T) {
+	p, err := NewPropagator(leoElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := leoElements().Epoch
+	end := start.Add(6 * time.Hour)
+	eph := NewEphemeris(p, start, end, 30*time.Second)
+	if eph.Exact() {
+		t.Fatal("default ephemeris should interpolate, not run exact")
+	}
+
+	// Interpolated states must stay within the configured positional bound
+	// of exact SGP4 at arbitrary off-grid instants, including awkward
+	// sub-second offsets.
+	offsets := []time.Duration{
+		13 * time.Second, 71 * time.Second, 31*time.Minute + 7*time.Millisecond,
+		2*time.Hour + 17*time.Second + 500*time.Microsecond,
+		5*time.Hour + 59*time.Minute + 59*time.Second,
+	}
+	for _, off := range offsets {
+		at := start.Add(off)
+		exact, _, err1 := p.PositionECEF(at)
+		interp, _, err2 := eph.PositionECEF(at)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("offset %v: errors %v / %v", off, err1, err2)
+		}
+		if d := interp.Sub(exact).Norm(); d > eph.MaxInterpErrorKm() {
+			t.Errorf("offset %v: interpolation error %.4f km exceeds bound %.4f km",
+				off, d, eph.MaxInterpErrorKm())
+		}
+	}
+}
+
+func TestEphemerisInterpolationNeverSnapsOffGridQueries(t *testing.T) {
+	// Regression: grid-hit detection must use a strict zero-remainder
+	// contract for any step — including steps that do not divide the span —
+	// so a query one nanosecond off-grid is interpolated (or propagated in
+	// exact mode), never snapped to the nearest stored sample.
+	p, err := NewPropagator(leoElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := leoElements().Epoch
+	// A step that does not divide the requested span.
+	step := 7*time.Second + 300*time.Millisecond
+	end := start.Add(31 * time.Minute)
+
+	for _, exact := range []bool{false, true} {
+		eph := NewEphemerisWith(p, start, end, EphemerisConfig{ScanStep: step, SampleStep: step, Exact: exact})
+		if got := eph.Step(); got != step {
+			t.Fatalf("exact=%v: sample step %v, want %v", exact, got, step)
+		}
+		on := start.Add(4 * step)
+		off := on.Add(time.Nanosecond)
+		rOn, _, err := eph.PositionECEF(on)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rOff, _, err := eph.PositionECEF(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rOn == rOff {
+			t.Errorf("exact=%v: query 1ns off-grid returned the stored sample verbatim — snapped instead of interpolated/propagated", exact)
+		}
+		// The 1ns offset must still agree with exact propagation to within
+		// the bound (and bit-exactly in exact mode).
+		want, _, err := p.PositionECEF(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact {
+			if rOff != want {
+				t.Errorf("exact mode: off-grid state %v differs from direct propagation %v", rOff, want)
+			}
+		} else if d := rOff.Sub(want).Norm(); d > eph.MaxInterpErrorKm() {
+			t.Errorf("interp mode: off-grid error %.4f km exceeds bound", d)
+		}
 	}
 }
 
@@ -84,7 +168,7 @@ func TestEphemerisCutsPropagationsToSatsTimesSteps(t *testing.T) {
 	serial := SGP4Calls()
 
 	ResetSGP4Calls()
-	eph := NewEphemeris(p, start, end, step)
+	eph := NewEphemerisWith(p, start, end, EphemerisConfig{ScanStep: step, Exact: true})
 	build := SGP4Calls()
 	for _, site := range sites {
 		NewEphemerisPredictor(eph).Passes(site, start, end, 0)
@@ -104,6 +188,20 @@ func TestEphemerisCutsPropagationsToSatsTimesSteps(t *testing.T) {
 	// the O(sats×sites×steps) serial count.
 	if shared*2 > serial {
 		t.Errorf("shared total %d not at least 2× below serial total %d", shared, serial)
+	}
+
+	// Interpolated mode samples coarser than it scans and answers scan and
+	// bisection queries from the interpolant, so the entire shared sweep —
+	// build plus six sites of pass search — must undercut even the
+	// exact-mode build cost.
+	ResetSGP4Calls()
+	interpEph := NewEphemeris(p, start, end, step)
+	for _, site := range sites {
+		NewEphemerisPredictor(interpEph).Passes(site, start, end, 0)
+	}
+	interpTotal := SGP4Calls()
+	if interpTotal >= build {
+		t.Errorf("interpolated sweep used %d propagations, want below exact-mode build count %d", interpTotal, build)
 	}
 }
 

@@ -1,0 +1,59 @@
+package orbit
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestGenerateInterpTLEs regenerates testdata/interp_tles.tle, the stress
+// catalog for the interpolation property test. Run with
+// SINET_GEN_TESTDATA=1 to rewrite the file.
+func TestGenerateInterpTLEs(t *testing.T) {
+	if os.Getenv("SINET_GEN_TESTDATA") == "" {
+		t.Skip("set SINET_GEN_TESTDATA=1 to regenerate testdata")
+	}
+	epoch := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(id int, name string, perigeeAltKm, ecc, inclDeg float64) Elements {
+		// Semi-major axis putting the perigee at the requested altitude.
+		a := (gravityRadiusKm + perigeeAltKm) / (1 - ecc)
+		return Elements{
+			NoradID:      id,
+			Name:         name,
+			Epoch:        epoch,
+			BStar:        4e-5,
+			Inclination:  inclDeg * deg2Rad,
+			RAAN:         1.1,
+			Eccentricity: ecc,
+			ArgPerigee:   0.8,
+			MeanAnomaly:  2.3,
+			MeanMotion:   MeanMotionFromAltitude(a - gravityRadiusKm),
+		}
+	}
+	els := []Elements{
+		mk(70001, "ECC-HEO-LITE", 350, 0.15, 63.4),
+		mk(70002, "ECC-GTO-ISH", 400, 0.20, 28.5),
+		mk(70003, "VLEO-CIRC", 300, 0.0005, 96.6),
+		mk(70004, "ISS-LIKE", 420, 0.0007, 51.6),
+		mk(70005, "SSO-550", 550, 0.0010, 97.6),
+		mk(70006, "LOW-INC-500", 500, 0.0020, 5.0),
+	}
+	var out []byte
+	for _, e := range els {
+		tle := e.TLE()
+		card := tle.Format()
+		if _, err := ParseTLE(card); err != nil {
+			t.Fatalf("%s: generated card does not round-trip: %v", e.Name, err)
+		}
+		if _, err := NewPropagator(e); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		out = append(out, card...)
+		if card[len(card)-1] != '\n' {
+			out = append(out, '\n')
+		}
+	}
+	if err := os.WriteFile("testdata/interp_tles.tle", out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,9 +9,10 @@ import (
 // orbitMetrics bundles the package's telemetry so one atomic pointer
 // covers install/uninstall: either every counter is live or none is.
 type orbitMetrics struct {
-	sgp4Calls *obs.Counter
-	ephHits   *obs.Counter
-	ephMisses *obs.Counter
+	sgp4Calls  *obs.Counter
+	ephHits    *obs.Counter
+	ephInterps *obs.Counter
+	ephMisses  *obs.Counter
 }
 
 // metrics is the process-wide installed telemetry (nil = uninstrumented).
@@ -23,7 +24,8 @@ var metrics atomic.Pointer[orbitMetrics]
 //
 //	sinet_sgp4_calls_total        SGP4 propagations performed
 //	sinet_ephemeris_hits_total    state queries served from ephemeris grids
-//	sinet_ephemeris_misses_total  off-grid queries falling back to SGP4
+//	sinet_ephemeris_interp_total  off-grid queries answered by Hermite interpolation
+//	sinet_ephemeris_misses_total  off-grid queries falling back to exact SGP4
 //
 // The installation is process-wide (propagators are created deep inside
 // campaigns, far from any registry owner). A nil r uninstalls, restoring
@@ -36,8 +38,9 @@ func SetMetrics(r *obs.Registry) {
 		return
 	}
 	metrics.Store(&orbitMetrics{
-		sgp4Calls: r.Counter("sinet_sgp4_calls_total", "SGP4 propagations performed."),
-		ephHits:   r.Counter("sinet_ephemeris_hits_total", "Satellite state queries served from shared ephemeris samples."),
-		ephMisses: r.Counter("sinet_ephemeris_misses_total", "Off-grid satellite state queries answered by exact SGP4 fallback."),
+		sgp4Calls:  r.Counter("sinet_sgp4_calls_total", "SGP4 propagations performed."),
+		ephHits:    r.Counter("sinet_ephemeris_hits_total", "Satellite state queries served from shared ephemeris samples."),
+		ephInterps: r.Counter("sinet_ephemeris_interp_total", "Off-grid satellite state queries answered by Hermite interpolation."),
+		ephMisses:  r.Counter("sinet_ephemeris_misses_total", "Off-grid satellite state queries answered by exact SGP4 fallback."),
 	})
 }

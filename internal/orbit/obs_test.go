@@ -16,13 +16,16 @@ func TestSetMetricsCountsPropagationAndGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := leoElements().Epoch
-	eph := NewEphemeris(prop, start, start.Add(10*time.Minute), time.Minute)
+	// Exact mode keeps the hit/miss semantics: sample step == scan step,
+	// off-grid queries propagate.
+	eph := NewEphemerisWith(prop, start, start.Add(10*time.Minute), EphemerisConfig{ScanStep: time.Minute, Exact: true})
 
 	r := obs.New()
 	SetMetrics(r)
 	defer SetMetrics(nil)
 	sgp4 := r.Counter("sinet_sgp4_calls_total", "")
 	hits := r.Counter("sinet_ephemeris_hits_total", "")
+	interps := r.Counter("sinet_ephemeris_interp_total", "")
 	misses := r.Counter("sinet_ephemeris_misses_total", "")
 
 	if _, _, err := eph.PositionECEF(start.Add(2 * time.Minute)); err != nil {
@@ -45,6 +48,20 @@ func TestSetMetricsCountsPropagationAndGrid(t *testing.T) {
 		t.Errorf("off-grid query must fall back to SGP4")
 	}
 
+	// An interpolating ephemeris answers off-sample queries from the
+	// Hermite interpolant: the interp counter moves, SGP4 does not.
+	interpEph := NewEphemeris(prop, start, start.Add(30*time.Minute), time.Minute)
+	sgp4Before := sgp4.Value()
+	if _, _, err := interpEph.PositionECEF(start.Add(interpEph.Step() + interpEph.Step()/2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := interps.Value(); got != 1 {
+		t.Errorf("interpolated query: interps = %d, want 1", got)
+	}
+	if got := sgp4.Value(); got != sgp4Before {
+		t.Errorf("interpolated query must not propagate: sgp4 %d -> %d", sgp4Before, got)
+	}
+
 	SetMetrics(nil)
 	before := sgp4.Value()
 	if _, _, err := eph.PositionECEF(start.Add(30 * time.Second)); err != nil {
@@ -56,23 +73,55 @@ func TestSetMetricsCountsPropagationAndGrid(t *testing.T) {
 }
 
 // TestUninstrumentedGridHitAllocatesNothing pins the hot-path contract:
-// with no registry installed, an on-grid ephemeris query performs zero
-// allocations.
+// with no registry installed, on-grid and interpolated ephemeris queries
+// perform zero allocations.
 func TestUninstrumentedGridHitAllocatesNothing(t *testing.T) {
 	prop, err := NewPropagator(leoElements())
 	if err != nil {
 		t.Fatal(err)
 	}
 	start := leoElements().Epoch
-	eph := NewEphemeris(prop, start, start.Add(10*time.Minute), time.Minute)
+	eph := NewEphemeris(prop, start, start.Add(30*time.Minute), time.Minute)
 	SetMetrics(nil)
-	q := start.Add(3 * time.Minute)
-	allocs := testing.AllocsPerRun(100, func() {
-		if _, _, err := eph.PositionECEF(q); err != nil {
-			t.Fatal(err)
+	for name, q := range map[string]time.Time{
+		"grid-hit": start.Add(eph.Step()),
+		"interp":   start.Add(eph.Step() + eph.Step()/2),
+	} {
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, _, err := eph.PositionECEF(q); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("uninstrumented %s query allocates %v times per query", name, allocs)
 		}
-	})
-	if allocs != 0 {
-		t.Errorf("uninstrumented grid hit allocates %v times per query", allocs)
+	}
+}
+
+// TestInstrumentedQueryAllocatesNothing pins the instrumented path too:
+// the registry pointer is one atomic load and counter increments are
+// atomic adds, so installing telemetry must not introduce allocations on
+// the query path.
+func TestInstrumentedQueryAllocatesNothing(t *testing.T) {
+	prop, err := NewPropagator(leoElements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := leoElements().Epoch
+	eph := NewEphemeris(prop, start, start.Add(30*time.Minute), time.Minute)
+	SetMetrics(obs.New())
+	defer SetMetrics(nil)
+	for name, q := range map[string]time.Time{
+		"grid-hit": start.Add(eph.Step()),
+		"interp":   start.Add(eph.Step() + eph.Step()/2),
+	} {
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, _, err := eph.PositionECEF(q); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("instrumented %s query allocates %v times per query", name, allocs)
+		}
 	}
 }

@@ -2,7 +2,9 @@ package orbit
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -38,6 +40,7 @@ func (p Pass) String() string {
 // PassPredictor finds contact windows for one satellite over ground sites.
 type PassPredictor struct {
 	src StateSource
+	eph *Ephemeris // non-nil when src is an Ephemeris: fast query path
 
 	// CoarseStep is the scan step used to bracket horizon crossings.
 	// The default of 30 s cannot skip a LEO pass, whose above-horizon
@@ -56,71 +59,216 @@ func NewPassPredictor(p *Propagator) *PassPredictor {
 // NewPassPredictorFrom wraps any state source — a raw propagator or a shared
 // Ephemeris — with pass-search defaults.
 func NewPassPredictorFrom(src StateSource) *PassPredictor {
-	return &PassPredictor{src: src, CoarseStep: 30 * time.Second, Refine: 500 * time.Millisecond}
+	pp := &PassPredictor{CoarseStep: 30 * time.Second, Refine: 500 * time.Millisecond}
+	pp.SetSource(src)
+	return pp
 }
 
-// elevationAt returns the elevation of the satellite above the observer at t.
-// Propagation errors surface as a large negative elevation so that a decayed
-// satellite simply stops producing passes.
-func (pp *PassPredictor) elevationAt(frame observerFrame, t time.Time) float64 {
-	r, v, err := pp.src.PositionECEF(t)
-	if err != nil {
-		return -twoPi
+// SetSource repoints the predictor at another state source, so one
+// predictor can sweep a constellation (one satellite after another)
+// without a per-satellite allocation.
+func (pp *PassPredictor) SetSource(src StateSource) {
+	pp.src = src
+	pp.eph, _ = src.(*Ephemeris)
+}
+
+// scan bundles the per-search state of one Passes call: the cached
+// observer frame, the precomputed mask sines, and — when the source is an
+// Ephemeris — the telemetry pointer loaded once for the whole search
+// instead of per query, with counts accumulated locally and flushed in one
+// batch at the end.
+type scan struct {
+	pp    *PassPredictor
+	frame observerFrame
+	minEl float64
+	sinEl float64 // sin(minEl)
+	sin2  float64 // sin²(minEl)
+
+	// start/step anchor the coarse scan; d0 is the offset of the scan
+	// start from the ephemeris start (meaningful when pp.eph != nil), so
+	// scan instants are addressed by integer offset arithmetic instead of
+	// a time.Time construction per step.
+	start time.Time
+	step  time.Duration
+	d0    time.Duration
+
+	m                     *orbitMetrics
+	hits, interps, exacts uint64
+}
+
+func (pp *PassPredictor) newScan(site Geodetic, minEl float64) scan {
+	s := math.Sin(minEl)
+	sc := scan{pp: pp, frame: newObserverFrame(site), minEl: minEl, sinEl: s, sin2: s * s}
+	if pp.eph != nil {
+		sc.m = metrics.Load()
 	}
-	return frame.look(r, v).Elevation
+	return sc
 }
 
-// lookAt returns full look angles from the cached observer frame at time t.
-func (pp *PassPredictor) lookAt(frame observerFrame, t time.Time) (LookAngles, error) {
-	r, v, err := pp.src.PositionECEF(t)
+// flush publishes the batched ephemeris telemetry.
+func (sc *scan) flush() {
+	if sc.m == nil {
+		return
+	}
+	if sc.hits > 0 {
+		sc.m.ephHits.Add(sc.hits)
+	}
+	if sc.interps > 0 {
+		sc.m.ephInterps.Add(sc.interps)
+	}
+	if sc.exacts > 0 {
+		sc.m.ephMisses.Add(sc.exacts)
+	}
+	sc.hits, sc.interps, sc.exacts = 0, 0, 0
+}
+
+// count records how an ephemeris query was answered.
+func (sc *scan) count(kind queryKind) {
+	switch kind {
+	case queryGridHit:
+		sc.hits++
+	case queryInterp:
+		sc.interps++
+	default:
+		sc.exacts++
+	}
+}
+
+// above reports whether the satellite is at or above the mask at t.
+// Propagation errors read as below-mask, so a decayed satellite simply
+// stops producing passes. On the ephemeris path this touches neither the
+// telemetry pointer nor any trigonometry: position is interpolated (or
+// read off the grid) and compared against the mask with dot products only.
+func (sc *scan) above(t time.Time) bool {
+	if e := sc.pp.eph; e != nil {
+		r, err, kind := e.position(t)
+		sc.count(kind)
+		if err != nil {
+			return false
+		}
+		return sc.frame.aboveMask(r, sc.sinEl, sc.sin2)
+	}
+	r, _, err := sc.pp.src.PositionECEF(t)
+	if err != nil {
+		return false
+	}
+	return sc.frame.aboveMask(r, sc.sinEl, sc.sin2)
+}
+
+// aboveIdx is above at scan instant start + k·step, addressed by index so
+// the ephemeris path runs on integer offsets.
+func (sc *scan) aboveIdx(k int64) bool {
+	if e := sc.pp.eph; e != nil {
+		r, err, kind := e.positionOff(sc.d0 + time.Duration(k)*sc.step)
+		sc.count(kind)
+		if err != nil {
+			return false
+		}
+		return sc.frame.aboveMask(r, sc.sinEl, sc.sin2)
+	}
+	return sc.above(sc.start.Add(time.Duration(k) * sc.step))
+}
+
+// elRange returns the elevation and slant range at t — the TCA sweep's
+// per-sample needs — skipping the azimuth and range-rate arithmetic (and
+// the velocity interpolation on the ephemeris path). Bit-identical to the
+// corresponding fields of look.
+func (sc *scan) elRange(t time.Time) (el, rangeKm float64, err error) {
+	var r Vec3
+	if e := sc.pp.eph; e != nil {
+		var kind queryKind
+		r, err, kind = e.position(t)
+		sc.count(kind)
+	} else {
+		r, _, err = sc.pp.src.PositionECEF(t)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	el, rangeKm = sc.frame.elRange(r)
+	return el, rangeKm, nil
+}
+
+// look returns full look angles at t.
+func (sc *scan) look(t time.Time) (LookAngles, error) {
+	if e := sc.pp.eph; e != nil {
+		r, v, err, kind := e.state(t)
+		sc.count(kind)
+		if err != nil {
+			return LookAngles{}, err
+		}
+		return sc.frame.look(r, v), nil
+	}
+	r, v, err := sc.pp.src.PositionECEF(t)
 	if err != nil {
 		return LookAngles{}, err
 	}
-	return frame.look(r, v), nil
+	return sc.frame.look(r, v), nil
 }
 
 // LookAt returns full look angles from the site at time t.
 func (pp *PassPredictor) LookAt(site Geodetic, t time.Time) (LookAngles, error) {
-	return pp.lookAt(newObserverFrame(site), t)
+	r, v, err := pp.src.PositionECEF(t)
+	if err != nil {
+		return LookAngles{}, err
+	}
+	return newObserverFrame(site).look(r, v), nil
 }
 
 // Passes returns every contact window with max elevation above minElevation
 // (radians) between start and end, in chronological order.
-//
-// The coarse scan visits only instants of the form start + k·step, so a
-// predictor over an Ephemeris whose grid is aligned with start serves every
-// scan query from the shared samples; only the AOS/LOS bisection and the
-// TCA sampling inside a detected pass evaluate SGP4 off-grid.
 func (pp *PassPredictor) Passes(site Geodetic, start, end time.Time, minElevation float64) []Pass {
+	return pp.PassesAppend(nil, site, start, end, minElevation)
+}
+
+// PassesAppend appends every contact window between start and end to dst
+// and returns the extended slice, in chronological order per call. Callers
+// running many searches (every satellite of a constellation, every site of
+// a campaign) pass a reused buffer so that steady-state pass search
+// performs zero allocations per search.
+//
+// The coarse scan visits only instants of the form start + k·step. When
+// the predictor runs over an Ephemeris, scan instants are answered from
+// the shared samples — directly when they land on the sampling grid
+// (located by precomputed index arithmetic, not per-query modulo), by
+// bounded-error Hermite interpolation otherwise — and the telemetry
+// registry is consulted once per search rather than once per query.
+func (pp *PassPredictor) PassesAppend(dst []Pass, site Geodetic, start, end time.Time, minElevation float64) []Pass {
 	if !end.After(start) {
-		return nil
+		return dst
 	}
 	step := pp.CoarseStep
 	if step <= 0 {
 		step = 30 * time.Second
 	}
-	frame := newObserverFrame(site)
+	sc := pp.newScan(site, minElevation)
+	sc.start, sc.step = start, step
+	if pp.eph != nil {
+		sc.d0 = start.Sub(pp.eph.start)
+	}
+	defer sc.flush()
 
-	var passes []Pass
-	prevT := start
-	prevEl := pp.elevationAt(frame, prevT)
-	for k := int64(1); ; k++ {
-		t := start.Add(time.Duration(k) * step)
-		if t.After(end.Add(step)) {
-			break
-		}
-		el := pp.elevationAt(frame, t)
-		if prevEl < minElevation && el >= minElevation {
-			// Rising edge bracketed in (prevT, t]: refine AOS, then walk
+	base := len(dst)
+	// Scan instants are start + k·step for k in [0, kMax] (one step past
+	// the window end so a pass in progress at end is still detected); the
+	// LOS walk stops at kEnd, the last instant inside the window.
+	kMax := int64(end.Add(step).Sub(start) / step)
+	kEnd := int64(end.Sub(start) / step)
+	prevAbove := sc.aboveIdx(0)
+	for k := int64(1); k <= kMax; k++ {
+		above := sc.aboveIdx(k)
+		if !prevAbove && above {
+			// Rising edge bracketed in (prev, k]: refine AOS, then walk
 			// forward from the grid point to find LOS.
-			aos := pp.bisect(frame, prevT, t, minElevation, true)
-			los, ok := pp.findLOS(frame, start, k, end, step, minElevation)
+			t := start.Add(time.Duration(k) * step)
+			aos := sc.bisect(t.Add(-step), t, true)
+			los, ok := sc.findLOS(k, kEnd, end)
 			if !ok {
 				// Pass extends beyond the search window; truncate at end.
 				los = end
 			}
-			if pass, ok := pp.buildPass(frame, aos, los, minElevation); ok {
-				passes = append(passes, pass)
+			if pass, ok := sc.buildPass(aos, los); ok {
+				dst = append(dst, pass)
 			}
 			// Resume scanning at the first grid point after LOS, but never
 			// move the cursor backwards: a pass shorter than the scan step
@@ -128,47 +276,50 @@ func (pp *PassPredictor) Passes(site Geodetic, start, end time.Time, minElevatio
 			// re-detect the same rising edge forever.
 			if next := int64(los.Sub(start)/step) + 1; next > k {
 				k = next
-				t = start.Add(time.Duration(k) * step)
-				if t.After(end.Add(step)) {
+				if k > kMax {
 					break
 				}
-				el = pp.elevationAt(frame, t)
+				above = sc.aboveIdx(k)
 			}
 		}
-		prevT, prevEl = t, el
+		prevAbove = above
 	}
-	sort.Slice(passes, func(i, j int) bool { return passes[i].AOS.Before(passes[j].AOS) })
-	return passes
+	// The scan emits passes chronologically; insertion sort (a no-op pass
+	// in the common sorted case) keeps the contract without the closure
+	// allocation of sort.Slice.
+	for i := base + 1; i < len(dst); i++ {
+		for j := i; j > base && dst[j].AOS.Before(dst[j-1].AOS); j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
 }
 
 // findLOS walks grid points forward from the rising-edge step fromK until
 // elevation drops below the mask, then bisects the falling edge. Returns
-// ok=false if the satellite is still up at the search end.
-func (pp *PassPredictor) findLOS(frame observerFrame, start time.Time, fromK int64, end time.Time, step time.Duration, minEl float64) (time.Time, bool) {
-	prevT := start.Add(time.Duration(fromK) * step)
+// ok=false if the satellite is still up at the last in-window step kEnd.
+func (sc *scan) findLOS(fromK, kEnd int64, end time.Time) (time.Time, bool) {
 	for k := fromK + 1; ; k++ {
-		t := start.Add(time.Duration(k) * step)
-		if t.After(end) {
+		if k > kEnd {
 			return end, false
 		}
-		if pp.elevationAt(frame, t) < minEl {
-			return pp.bisect(frame, prevT, t, minEl, false), true
+		if !sc.aboveIdx(k) {
+			t := sc.start.Add(time.Duration(k) * sc.step)
+			return sc.bisect(t.Add(-sc.step), t, false), true
 		}
-		prevT = t
 	}
 }
 
 // bisect refines a horizon crossing bracketed by [lo, hi]. rising selects
 // the crossing direction.
-func (pp *PassPredictor) bisect(frame observerFrame, lo, hi time.Time, minEl float64, rising bool) time.Time {
-	tol := pp.Refine
+func (sc *scan) bisect(lo, hi time.Time, rising bool) time.Time {
+	tol := sc.pp.Refine
 	if tol <= 0 {
 		tol = time.Second
 	}
 	for hi.Sub(lo) > tol {
 		mid := lo.Add(hi.Sub(lo) / 2)
-		above := pp.elevationAt(frame, mid) >= minEl
-		if above == rising {
+		if sc.above(mid) == rising {
 			// For a rising edge, "above" means the crossing is earlier.
 			hi = mid
 		} else {
@@ -181,11 +332,11 @@ func (pp *PassPredictor) bisect(frame observerFrame, lo, hi time.Time, minEl flo
 // buildPass fills in TCA, azimuths and peak stats by sampling the window.
 // The AOS/LOS look angles double as the first and last samples of the TCA
 // scan, so the window endpoints are evaluated exactly once.
-func (pp *PassPredictor) buildPass(frame observerFrame, aos, los time.Time, minEl float64) (Pass, bool) {
+func (sc *scan) buildPass(aos, los time.Time) (Pass, bool) {
 	if !los.After(aos) {
 		return Pass{}, false
 	}
-	els := pp.src.Elements()
+	els := sc.pp.src.Elements()
 	pass := Pass{
 		NoradID:      els.NoradID,
 		Name:         els.Name,
@@ -194,8 +345,8 @@ func (pp *PassPredictor) buildPass(frame observerFrame, aos, los time.Time, minE
 		MaxElevation: -twoPi,
 		MinRangeKm:   1e12,
 	}
-	laAOS, errAOS := pp.lookAt(frame, aos)
-	laLOS, errLOS := pp.lookAt(frame, los)
+	laAOS, errAOS := sc.look(aos)
+	laLOS, errLOS := sc.look(los)
 	if errAOS == nil {
 		pass.AOSAzimuth = laAOS.Azimuth
 	}
@@ -204,43 +355,52 @@ func (pp *PassPredictor) buildPass(frame observerFrame, aos, los time.Time, minE
 	}
 	// Sample 64 points across the window for TCA; LEO elevation profiles
 	// are unimodal, so dense sampling is accurate to dur/64 which is
-	// seconds-level for a 10-minute pass.
+	// seconds-level for a 10-minute pass. Only elevation and range are
+	// compared, so the sweep skips the azimuth/range-rate arithmetic.
 	const samples = 64
 	dur := los.Sub(aos)
 	for i := 0; i <= samples; i++ {
-		var la LookAngles
+		var el, rangeKm float64
 		var err error
 		switch i {
 		case 0:
-			la, err = laAOS, errAOS
+			el, rangeKm, err = laAOS.Elevation, laAOS.RangeKm, errAOS
 		case samples:
-			la, err = laLOS, errLOS
+			el, rangeKm, err = laLOS.Elevation, laLOS.RangeKm, errLOS
 		default:
-			la, err = pp.lookAt(frame, aos.Add(dur*time.Duration(i)/samples))
+			el, rangeKm, err = sc.elRange(aos.Add(dur * time.Duration(i) / samples))
 		}
 		if err != nil {
 			continue
 		}
-		if la.Elevation > pass.MaxElevation {
-			pass.MaxElevation = la.Elevation
+		if el > pass.MaxElevation {
+			pass.MaxElevation = el
 			pass.TCA = aos.Add(dur * time.Duration(i) / samples)
 		}
-		if la.RangeKm < pass.MinRangeKm {
-			pass.MinRangeKm = la.RangeKm
+		if rangeKm < pass.MinRangeKm {
+			pass.MinRangeKm = rangeKm
 		}
 	}
-	return pass, pass.MaxElevation >= minEl
+	return pass, pass.MaxElevation >= sc.minEl
 }
+
+// passBufPool recycles pass-search scratch for the package's own sweep
+// helpers (DailyVisibleDuration and friends), whose pass lists are
+// consumed before returning.
+var passBufPool = sync.Pool{New: func() any { s := make([]Pass, 0, 32); return &s }}
 
 // DailyVisibleDuration sums the above-mask time for the satellite over the
 // site between start and end, returning the mean per-day duration. This is
 // the "theoretical presence duration" of Figure 3a.
 func (pp *PassPredictor) DailyVisibleDuration(site Geodetic, start, end time.Time, minElevation float64) time.Duration {
-	passes := pp.Passes(site, start, end, minElevation)
+	buf := passBufPool.Get().(*[]Pass)
+	passes := pp.PassesAppend((*buf)[:0], site, start, end, minElevation)
 	var total time.Duration
 	for _, p := range passes {
 		total += p.Duration()
 	}
+	*buf = passes[:0]
+	passBufPool.Put(buf)
 	days := end.Sub(start).Hours() / 24
 	if days <= 0 {
 		return 0

@@ -16,7 +16,9 @@ import (
 	"github.com/sinet-io/sinet/internal/sim"
 )
 
-// Link is a directional radio link with fixed modulation and budget.
+// Link is a directional radio link with fixed modulation and budget. The
+// Params and Budget fields must not be mutated after NewLink: the hot
+// transmit path uses budget terms precomputed at construction.
 type Link struct {
 	Params   lora.Params
 	Budget   channel.Budget
@@ -25,18 +27,26 @@ type Link struct {
 	FreqMHz  float64
 
 	rng *sim.RNG
+
+	// Precomputed budget terms: the noise floor depends only on the fixed
+	// bandwidth and noise figure, and the gain/loss sum is constant, so
+	// neither needs recomputing per frame.
+	noiseDBm    float64
+	fixedGainDB float64
 }
 
 // NewLink builds a link. The RNG drives reception dice rolls; the channel
 // model carries its own stream.
 func NewLink(params lora.Params, budget channel.Budget, model *channel.Model, freqMHz float64, rng *sim.RNG) *Link {
 	return &Link{
-		Params:   params,
-		Budget:   budget,
-		Model:    model,
-		ErrModel: lora.DefaultPacketErrorModel(),
-		FreqMHz:  freqMHz,
-		rng:      rng,
+		Params:      params,
+		Budget:      budget,
+		Model:       model,
+		ErrModel:    lora.DefaultPacketErrorModel(),
+		FreqMHz:     freqMHz,
+		rng:         rng,
+		noiseDBm:    lora.NoiseFloorDBm(params.BandwidthHz, budget.RxNoiseFigDB),
+		fixedGainDB: budget.TxPowerDBm + budget.TxAntenna.GainDB + budget.RxAntenna.GainDB - budget.ImplLossDB,
 	}
 }
 
@@ -68,17 +78,22 @@ type Reception struct {
 // Transmit realizes one frame of payloadBytes over the link under the given
 // geometry and weather.
 func (l *Link) Transmit(g Geometry, w channel.Weather, payloadBytes int) Reception {
-	rcv := l.Budget.ApplyAt(g.At, l.Model, g.DistanceKm, l.FreqMHz, g.ElevationRad, w, l.Params.BandwidthHz)
+	// Inlined Budget.ApplyAt with the constant terms hoisted to NewLink;
+	// the arithmetic order matches ApplyAt exactly, so results are
+	// bit-identical.
+	loss := l.Model.SampleAt(g.At, g.DistanceKm, l.FreqMHz, g.ElevationRad, w)
+	rssi := l.fixedGainDB - loss.TotalDB
+	rawSNR := rssi - l.noiseDBm
 
 	doppler := lora.DopplerShiftHz(l.FreqMHz*1e6, g.RangeRateKmS)
 	dopplerRate := -g.RangeAccelKmS2 / 299792.458 * l.FreqMHz * 1e6
 	penalty := l.Params.DopplerPenaltyDB(doppler, dopplerRate)
 
-	snr := rcv.SNRDB - penalty
+	snr := rawSNR - penalty
 	out := Reception{
-		RSSIDBm:   rcv.RSSIDBm,
+		RSSIDBm:   rssi,
 		SNRDB:     snr,
-		RawSNRDB:  rcv.SNRDB,
+		RawSNRDB:  rawSNR,
 		DopplerHz: doppler,
 	}
 	pDetect := l.ErrModel.PreambleDetectProbability(snr, l.Params)

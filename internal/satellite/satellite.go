@@ -69,14 +69,20 @@ func (b *Buffer) Flush() []StoredPacket {
 
 // Gateway is one satellite acting as an IoT gateway.
 //
-// A Gateway owns its propagator and buffer and is not goroutine-safe;
-// campaign workers that build gateways concurrently must hand each one its
-// own Propagator.Clone().
+// A Gateway's orbital source may be a raw propagator or a shared
+// ephemeris view; position queries through either are goroutine-safe.
+// The Buffer is not: campaign workers that push or flush packets must
+// own their gateway exclusively. Read-only uses (BeaconTimes,
+// GeometryAt, AltitudeAt) may share one gateway across workers.
 type Gateway struct {
 	NoradID int
 	Name    string
-	Prop    *orbit.Propagator
+	Src     orbit.StateSource
 	Buffer  *Buffer
+
+	// epoch anchors the beacon grid; cached so the hot beacon path does
+	// not rebuild the element set per call.
+	epoch time.Time
 
 	// BeaconInterval is the gateway's beacon period.
 	BeaconInterval time.Duration
@@ -85,13 +91,15 @@ type Gateway struct {
 	AckTurnaround time.Duration
 }
 
-// NewGateway wraps a propagator as a gateway with the given buffer size.
-func NewGateway(prop *orbit.Propagator, beaconInterval time.Duration, bufferCapacity int) *Gateway {
-	els := prop.Elements()
+// NewGateway wraps an orbital state source — a raw SGP4 propagator or a
+// shared ephemeris — as a gateway with the given buffer size.
+func NewGateway(src orbit.StateSource, beaconInterval time.Duration, bufferCapacity int) *Gateway {
+	els := src.Elements()
 	return &Gateway{
 		NoradID:        els.NoradID,
 		Name:           els.Name,
-		Prop:           prop,
+		Src:            src,
+		epoch:          els.Epoch,
 		Buffer:         NewBuffer(bufferCapacity),
 		BeaconInterval: beaconInterval,
 		AckTurnaround:  500 * time.Millisecond,
@@ -107,28 +115,34 @@ func (g *Gateway) String() string {
 // a deterministic grid anchored at the satellite's epoch so that beacon
 // phase is stable across passes.
 func (g *Gateway) BeaconTimes(start, end time.Time) []time.Time {
+	return g.AppendBeaconTimes(nil, start, end)
+}
+
+// AppendBeaconTimes appends the beacon emission instants within
+// [start, end) to dst and returns the extended slice. Campaign loops that
+// walk thousands of passes reuse one buffer (dst[:0]) so steady-state
+// beacon enumeration performs zero allocations.
+func (g *Gateway) AppendBeaconTimes(dst []time.Time, start, end time.Time) []time.Time {
 	if !end.After(start) || g.BeaconInterval <= 0 {
-		return nil
+		return dst
 	}
-	epoch := g.Prop.Elements().Epoch
-	offset := start.Sub(epoch)
+	offset := start.Sub(g.epoch)
 	// First beacon at or after start.
 	n := offset / g.BeaconInterval
-	first := epoch.Add(n * g.BeaconInterval)
+	first := g.epoch.Add(n * g.BeaconInterval)
 	for first.Before(start) {
 		first = first.Add(g.BeaconInterval)
 	}
-	var out []time.Time
 	for t := first; t.Before(end); t = t.Add(g.BeaconInterval) {
-		out = append(out, t)
+		dst = append(dst, t)
 	}
-	return out
+	return dst
 }
 
 // GeometryAt returns the look geometry from a ground point to the gateway
 // at time t.
 func (g *Gateway) GeometryAt(site orbit.Geodetic, t time.Time) (orbit.LookAngles, error) {
-	r, v, err := g.Prop.PositionECEF(t)
+	r, v, err := g.Src.PositionECEF(t)
 	if err != nil {
 		return orbit.LookAngles{}, err
 	}
@@ -137,9 +151,9 @@ func (g *Gateway) GeometryAt(site orbit.Geodetic, t time.Time) (orbit.LookAngles
 
 // AltitudeAt returns the satellite altitude at t.
 func (g *Gateway) AltitudeAt(t time.Time) (float64, error) {
-	geo, err := g.Prop.Subpoint(t)
+	r, _, err := g.Src.PositionECEF(t)
 	if err != nil {
 		return 0, err
 	}
-	return geo.Alt, nil
+	return orbit.GeodeticFromECEF(r).Alt, nil
 }

@@ -601,12 +601,15 @@ func runBackhaul(ctx context.Context, b *BackhaulSpec, progress core.ProgressFun
 			progress("satellites", completed, total)
 		}
 	}
+	// One shared struct-of-arrays grid: workers fill their own rows (no
+	// races) and the 12-station window sweep reads the shared samples.
+	grid := orbit.NewEphemerisGrid(props, b.Start, end, orbit.EphemerisConfig{ScanStep: time.Duration(b.Step)})
 	if err := sim.ForEachPhase("satellites", len(props), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		eph := orbit.NewEphemeris(props[i], b.Start, end, time.Duration(b.Step))
-		windows := segment.DownlinkWindows(eph, b.Start, end, time.Duration(b.Step))
+		grid.Propagate(i)
+		windows := segment.DownlinkWindows(grid.Sat(i), b.Start, end, time.Duration(b.Step))
 		drains := backhaul.ScheduleDrains(windows, time.Duration(b.MinDrainGap))
 		sat := SatBackhaul{
 			NoradID: props[i].Elements().NoradID,
@@ -625,6 +628,7 @@ func runBackhaul(ctx context.Context, b *BackhaulSpec, progress core.ProgressFun
 	}, onDone); err != nil {
 		return nil, err
 	}
+	grid.Finish()
 	sort.Slice(res.Satellites, func(i, j int) bool { return res.Satellites[i].NoradID < res.Satellites[j].NoradID })
 	return res, nil
 }

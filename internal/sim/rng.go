@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 )
@@ -16,11 +15,23 @@ type RNG struct {
 	r    *rand.Rand
 }
 
-// NewRNG derives a stream from a master seed and a stable name.
+// NewRNG derives a stream from a master seed and a stable name. The name
+// is mixed in with FNV-1a, inlined over the string so deriving a stream
+// doesn't round-trip the name through a hasher allocation — campaigns
+// derive hundreds of streams per run. The constants and update order match
+// hash/fnv exactly, so seeds (and therefore every historical draw) are
+// unchanged.
 func NewRNG(masterSeed int64, name string) *RNG {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(name))
-	seed := masterSeed ^ int64(h.Sum64())
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	seed := masterSeed ^ int64(h)
 	return &RNG{name: name, r: rand.New(rand.NewSource(seed))}
 }
 
