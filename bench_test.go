@@ -6,14 +6,17 @@
 package sinet_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
 
 	sinet "github.com/sinet-io/sinet"
+	"github.com/sinet-io/sinet/internal/backhaul"
 	"github.com/sinet-io/sinet/internal/constellation"
 	"github.com/sinet-io/sinet/internal/groundstation"
 	"github.com/sinet-io/sinet/internal/mac"
+	"github.com/sinet-io/sinet/internal/netgraph"
 	"github.com/sinet-io/sinet/internal/obs"
 	"github.com/sinet-io/sinet/internal/orbit"
 	"github.com/sinet-io/sinet/internal/sim"
@@ -593,5 +596,58 @@ func BenchmarkPassesAppend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		passes = pp.PassesAppend(passes[:0], site, start, end, 0)
+	}
+}
+
+// BenchmarkTopologyBuild measures time-varying network-graph snapshot
+// construction — candidate ISL discovery plus per-snapshot visibility,
+// range and occlusion predicates — over a 1-hour window at the default
+// 1-minute cadence. The sub-benchmarks scale the Walker shell from the
+// Tianqi class up to a mega-constellation slice; each iteration rebuilds
+// every snapshot of a pre-propagated ephemeris grid.
+func BenchmarkTopologyBuild(b *testing.B) {
+	epoch := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	stations := backhaul.TianqiGroundSegment().Stations
+	for _, sats := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("%dsats", sats), func(b *testing.B) {
+			cons := constellation.Mega(epoch, sats)
+			props, err := cons.Propagators()
+			if err != nil {
+				b.Fatal(err)
+			}
+			end := epoch.Add(time.Hour)
+			grid := orbit.NewEphemerisGrid(props, epoch, end, orbit.EphemerisConfig{ScanStep: time.Minute})
+			grid.PropagateAll()
+			g, err := netgraph.New(grid, stations, epoch, end, netgraph.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			snaps := g.Snapshots()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < snaps; k++ {
+					g.Build(k)
+				}
+			}
+			b.ReportMetric(float64(snaps), "snapshots/op")
+			b.ReportMetric(float64(g.LiveISLs(0)), "live-isls@t0")
+		})
+	}
+}
+
+// BenchmarkRoutingCampaign runs the full store-vs-relay routing campaign
+// end to end — ephemeris, topology, per-packet earliest-delivery search —
+// for one day of the Tianqi constellation, the paper's Table 3 baseline.
+func BenchmarkRoutingCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sinet.RunRouting(sinet.RoutingConfig{Seed: 1, Days: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Packets)), "packets")
+			b.ReportMetric(res.Relay.MeanSec, "relay-mean-sec")
+			b.ReportMetric(res.Store.MeanSec, "store-mean-sec")
+		}
 	}
 }

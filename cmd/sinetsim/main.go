@@ -20,11 +20,13 @@ import (
 	"log/slog"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	sinet "github.com/sinet-io/sinet"
 	"github.com/sinet-io/sinet/internal/groundstation"
+	"github.com/sinet-io/sinet/internal/netgraph"
 	"github.com/sinet-io/sinet/internal/obs"
 	"github.com/sinet-io/sinet/internal/orbit"
 	"github.com/sinet-io/sinet/internal/report"
@@ -55,6 +57,11 @@ func run(args []string, stdout io.Writer) error {
 	stationMTTR := fs.Duration("station-mttr", 0, "inject station churn: mean down-time per failure (requires -station-mtbf)")
 	telemetry := fs.Bool("telemetry", false, "collect campaign telemetry and print a Prometheus-format snapshot after the run")
 	exact := fs.Bool("exact", false, "disable ephemeris interpolation: propagate every query exactly (slower, reproduces pre-interpolation output byte for byte)")
+	isl := fs.Bool("isl", false, "run a routing campaign over the time-varying ISL network graph instead of the passive campaign")
+	islRangeKm := fs.Float64("isl-range-km", 0, "ISL terminal range budget in km (default 5000; requires -isl)")
+	routingPolicy := fs.String("routing-policy", "compare", "routing delivery policy: store, relay, or compare (requires -isl)")
+	linkMTBF := fs.Duration("link-mtbf", 0, "inject ISL link churn: mean up-time between failures (requires -isl and -link-mttr)")
+	linkMTTR := fs.Duration("link-mttr", 0, "inject ISL link churn: mean down-time per failure (requires -isl and -link-mtbf)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,6 +73,18 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *stationMTBF < 0 || *stationMTTR < 0 {
 		return fmt.Errorf("-station-mtbf/-station-mttr must be non-negative")
+	}
+	if !*isl && (*islRangeKm != 0 || *routingPolicy != "compare" || *linkMTBF != 0 || *linkMTTR != 0) {
+		return fmt.Errorf("-isl-range-km, -routing-policy and -link-mtbf/-link-mttr require -isl")
+	}
+	if (*linkMTBF > 0) != (*linkMTTR > 0) {
+		return fmt.Errorf("-link-mtbf and -link-mttr must be set together")
+	}
+	if *linkMTBF < 0 || *linkMTTR < 0 {
+		return fmt.Errorf("-link-mtbf/-link-mttr must be non-negative")
+	}
+	if *isl {
+		return runRouting(stdout, *days, *seed, *consArg, *islRangeKm, *routingPolicy, *linkMTBF, *linkMTTR, *telemetry, *exact)
 	}
 
 	start := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
@@ -190,6 +209,102 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote JSON dataset to %s\n", *jsonPath)
+	}
+
+	if reg != nil {
+		fmt.Fprintf(stdout, "\n# telemetry snapshot (Prometheus text format)\n")
+		if err := reg.WritePrometheus(stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRouting executes the -isl routing campaign: store-and-forward vs
+// ISL relay over the time-varying network graph, summarized as latency
+// CDFs per policy.
+func runRouting(stdout io.Writer, days int, seed int64, consArg string, islRangeKm float64, policy string, linkMTBF, linkMTTR time.Duration, telemetry, exact bool) error {
+	start := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	cfg := sinet.RoutingConfig{
+		Seed:           seed,
+		Start:          start,
+		Days:           days,
+		MaxISLRangeKm:  islRangeKm,
+		Policy:         policy,
+		ExactEphemeris: exact,
+	}
+	if consArg != "" {
+		names := strings.Split(consArg, ",")
+		if len(names) != 1 {
+			return fmt.Errorf("-isl routes one constellation at a time, got %d", len(names))
+		}
+		name := strings.TrimSpace(names[0])
+		found := false
+		for _, c := range sinet.AllConstellations(start) {
+			if strings.EqualFold(c.Name, name) {
+				cons := c
+				cfg.Constellation = &cons
+				found = true
+			}
+		}
+		// "MegaN" (e.g. Mega256) synthesizes a Starlink-class Walker shell
+		// for beyond-the-paper scale sweeps.
+		if !found {
+			if rest, ok := strings.CutPrefix(strings.ToLower(name), "mega"); ok {
+				n, err := strconv.Atoi(rest)
+				if err != nil || n <= 0 {
+					return fmt.Errorf("bad mega constellation size %q (want e.g. Mega256)", name)
+				}
+				cons := sinet.Mega(start, n)
+				cfg.Constellation = &cons
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown constellation %q", name)
+		}
+	}
+	if linkMTBF > 0 {
+		cfg.Faults = &sinet.FaultConfig{LinkMTBF: linkMTBF, LinkMTTR: linkMTTR}
+	}
+
+	var reg *obs.Registry
+	if telemetry {
+		reg = obs.New()
+		orbit.SetMetrics(reg)
+		sim.SetMetrics(reg)
+		netgraph.SetMetrics(reg)
+		defer orbit.SetMetrics(nil)
+		defer sim.SetMetrics(nil)
+		defer netgraph.SetMetrics(nil)
+	}
+
+	consName := "Tianqi"
+	if cfg.Constellation != nil {
+		consName = cfg.Constellation.Name
+	}
+	fmt.Fprintf(stdout, "running %d-day routing campaign: %s, policy=%s\n", days, consName, policy)
+	t0 := time.Now()
+	res, err := sinet.RunRouting(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "completed in %v: %d packets over %d snapshots, %d candidate ISLs (mean %.1f live)\n\n",
+		time.Since(t0).Round(time.Millisecond), len(res.Packets), res.Snapshots, res.CandidateISLs, res.MeanLiveISLs)
+
+	if res.Store.Generated > 0 {
+		fmt.Fprintf(stdout, "store-and-forward: %d/%d delivered\n", res.Store.Delivered, res.Store.Generated)
+		if err := report.LatencyCDF(stdout, "store-and-forward latency", res.StoreLatenciesSec(), 16); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if res.Relay.Generated > 0 {
+		fmt.Fprintf(stdout, "ISL relay: %d/%d delivered, mean %.1f hops (max %d)\n",
+			res.Relay.Delivered, res.Relay.Generated, res.Relay.MeanHops, res.Relay.MaxHops)
+		if err := report.LatencyCDF(stdout, "relay latency", res.RelayLatenciesSec(), 16); err != nil {
+			return err
+		}
 	}
 
 	if reg != nil {

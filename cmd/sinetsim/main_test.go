@@ -76,3 +76,52 @@ func TestRunSmallCampaignWithChurn(t *testing.T) {
 		t.Fatalf("summary missing the fleet mean:\n%s", text)
 	}
 }
+
+func TestRunRejectsBadRoutingFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"range without isl", []string{"-isl-range-km", "4000"}, "require -isl"},
+		{"policy without isl", []string{"-routing-policy", "relay"}, "require -isl"},
+		{"link mtbf without mttr", []string{"-isl", "-link-mtbf", "6h"}, "must be set together"},
+		{"link mttr without mtbf", []string{"-isl", "-link-mttr", "1h"}, "must be set together"},
+		{"negative link pair", []string{"-isl", "-link-mtbf", "-6h", "-link-mttr", "-1h"}, "non-negative"},
+		{"bad policy", []string{"-isl", "-routing-policy", "teleport"}, "Policy"},
+		{"two constellations", []string{"-isl", "-constellations", "Tianqi,FOSSA"}, "one constellation"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, io.Discard)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRunRoutingCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a one-day campaign")
+	}
+	var out strings.Builder
+	err := run([]string{"-isl", "-days", "1", "-telemetry"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"store-and-forward latency",
+		"relay latency",
+		"candidate ISLs",
+		"sinet_topology_builds_total",
+		"sinet_deliveries_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("routing summary missing %q:\n%s", want, text)
+		}
+	}
+}

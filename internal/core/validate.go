@@ -119,6 +119,41 @@ func (c ActiveConfig) Validate() error {
 	return nil
 }
 
+// Validate rejects clearly-invalid routing campaign configs with typed
+// errors wrapping ErrInvalidConfig. Zero values still mean "use the
+// default"; only actively wrong values are rejected.
+func (c RoutingConfig) Validate() error {
+	if c.Days < 0 {
+		return configErr("Days", fmt.Sprintf("must be non-negative, got %d", c.Days))
+	}
+	if c.SnapshotStep < 0 {
+		return configErr("SnapshotStep", fmt.Sprintf("must be non-negative, got %v", c.SnapshotStep))
+	}
+	if math.IsNaN(c.MaxISLRangeKm) || c.MaxISLRangeKm < 0 {
+		return configErr("MaxISLRangeKm", fmt.Sprintf("must be non-negative, got %v", c.MaxISLRangeKm))
+	}
+	if c.HopProcessing < 0 {
+		return configErr("HopProcessing", fmt.Sprintf("must be non-negative, got %v", c.HopProcessing))
+	}
+	if c.PacketInterval < 0 {
+		return configErr("PacketInterval", fmt.Sprintf("must be non-negative, got %v", c.PacketInterval))
+	}
+	switch c.Policy {
+	case "", PolicyStore, PolicyRelay, PolicyCompare:
+	default:
+		return configErr("Policy", fmt.Sprintf("must be %q, %q or %q, got %q", PolicyStore, PolicyRelay, PolicyCompare, c.Policy))
+	}
+	if math.IsNaN(c.MaxInterpErrorKm) || c.MaxInterpErrorKm < 0 {
+		return configErr("MaxInterpErrorKm", fmt.Sprintf("must be non-negative, got %v", c.MaxInterpErrorKm))
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return configErrCause("Faults", "bad fault model", err)
+		}
+	}
+	return nil
+}
+
 // Validate rejects clearly-invalid terrestrial campaign configs with typed
 // errors wrapping ErrInvalidConfig.
 func (c TerrestrialConfig) Validate() error {

@@ -55,6 +55,13 @@ type Config struct {
 	// beacons nor uplink through it.
 	SatMTBF time.Duration
 	SatMTTR time.Duration
+
+	// LinkMTBF/LinkMTTR churn individual inter-satellite links — pointing
+	// loss, terminal resets, thermal safing. A churned-out link drops out
+	// of the time-varying network graph; relay routing then detours or
+	// degrades to store-and-forward.
+	LinkMTBF time.Duration
+	LinkMTTR time.Duration
 }
 
 // Enabled reports whether the config injects any fault at all.
@@ -62,6 +69,7 @@ func (c Config) Enabled() bool {
 	return (c.StationMTBF > 0 && c.StationMTTR > 0) ||
 		(c.DrainMTBF > 0 && c.DrainMTTR > 0) ||
 		(c.SatMTBF > 0 && c.SatMTTR > 0) ||
+		(c.LinkMTBF > 0 && c.LinkMTTR > 0) ||
 		len(c.Maintenance) > 0
 }
 
@@ -75,6 +83,7 @@ func (c Config) Validate() error {
 		{"station", c.StationMTBF, c.StationMTTR},
 		{"drain", c.DrainMTBF, c.DrainMTTR},
 		{"sat", c.SatMTBF, c.SatMTTR},
+		{"link", c.LinkMTBF, c.LinkMTTR},
 	}
 	for _, p := range pairs {
 		if p.mtbf < 0 || p.mttr < 0 {
@@ -120,6 +129,24 @@ func (c Config) DrainSchedule(seed int64, station int, start, end time.Time) Sch
 func (c Config) SatSchedule(seed int64, noradID int, start, end time.Time) Schedule {
 	churn := gilbert(sim.NewRNG(seed, "fault/sat/"+strconv.Itoa(noradID)), start, end, c.SatMTBF, c.SatMTTR)
 	return newSchedule(churn, nil)
+}
+
+// LinkSchedule derives the churn schedule of one inter-satellite link from
+// the stream "fault/link/<id>". The id should name the link's endpoints
+// canonically (e.g. "91001-91002" with the lower NORAD ID first) so the two
+// directions of an undirected link share one schedule.
+func (c Config) LinkSchedule(seed int64, linkID string, start, end time.Time) Schedule {
+	churn := gilbert(sim.NewRNG(seed, "fault/link/"+linkID), start, end, c.LinkMTBF, c.LinkMTTR)
+	return newSchedule(churn, nil)
+}
+
+// LinkID renders the canonical undirected link identifier for a satellite
+// pair: lower NORAD ID first.
+func LinkID(noradA, noradB int) string {
+	if noradB < noradA {
+		noradA, noradB = noradB, noradA
+	}
+	return strconv.Itoa(noradA) + "-" + strconv.Itoa(noradB)
 }
 
 // gilbert realizes the two-state up/down process on [start, end):

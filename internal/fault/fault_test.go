@@ -226,3 +226,50 @@ func TestAvailabilityDegenerateSpanWithOutages(t *testing.T) {
 		t.Fatalf("zero-span availability on down schedule = %v, want 1", got)
 	}
 }
+
+func TestLinkScheduleDeterministicPerLink(t *testing.T) {
+	cfg := Config{LinkMTBF: 4 * time.Hour, LinkMTTR: 30 * time.Minute}
+	a := cfg.LinkSchedule(42, LinkID(91002, 91001), campStart, campEnd)
+	b := cfg.LinkSchedule(42, LinkID(91001, 91002), campStart, campEnd)
+	if len(a.Windows()) == 0 {
+		t.Fatal("no outages drawn — vacuous determinism check")
+	}
+	// The canonical LinkID makes both directions share one schedule.
+	if !reflect.DeepEqual(a.Windows(), b.Windows()) {
+		t.Fatal("link directions disagree on the outage schedule")
+	}
+	// A different link draws from its own stream.
+	other := cfg.LinkSchedule(42, LinkID(91001, 91003), campStart, campEnd)
+	if reflect.DeepEqual(a.Windows(), other.Windows()) {
+		t.Fatal("distinct links share an outage schedule")
+	}
+	// A different seed perturbs the schedule.
+	reseeded := cfg.LinkSchedule(43, LinkID(91001, 91002), campStart, campEnd)
+	if reflect.DeepEqual(a.Windows(), reseeded.Windows()) {
+		t.Fatal("reseeding did not change the schedule")
+	}
+}
+
+func TestLinkIDCanonical(t *testing.T) {
+	if got := LinkID(91002, 91001); got != "91001-91002" {
+		t.Errorf("LinkID = %q, want lower NORAD first", got)
+	}
+	if LinkID(1, 2) != LinkID(2, 1) {
+		t.Error("LinkID is direction-sensitive")
+	}
+}
+
+func TestValidateLinkPair(t *testing.T) {
+	if err := (Config{LinkMTBF: time.Hour}).Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("half-set link pair validated: %v", err)
+	}
+	if err := (Config{LinkMTBF: -time.Hour, LinkMTTR: time.Hour}).Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative link MTBF validated: %v", err)
+	}
+	if err := (Config{LinkMTBF: time.Hour, LinkMTTR: time.Minute}).Validate(); err != nil {
+		t.Errorf("valid link pair rejected: %v", err)
+	}
+	if !(Config{LinkMTBF: time.Hour, LinkMTTR: time.Minute}).Enabled() {
+		t.Error("link churn alone does not enable the config")
+	}
+}

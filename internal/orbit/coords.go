@@ -264,6 +264,34 @@ func SlantRange(observer Geodetic, rSatECEF Vec3) float64 {
 	return rSatECEF.Sub(observer.ECEF()).Norm()
 }
 
+// GroundMask is a precomputed elevation-mask visibility test for one ground
+// site: the observer frame plus the mask sine, ready for the trig-free
+// aboveMask predicate. It exists for callers outside this package (the
+// network-graph snapshot builder) that evaluate the same site against many
+// satellites per time step and cannot afford per-query trigonometry. A
+// GroundMask is immutable and safe for concurrent use.
+type GroundMask struct {
+	frame               observerFrame
+	sinMinEl, sin2MinEl float64
+}
+
+// NewGroundMask builds the visibility test for a site with the given
+// elevation mask (radians above the local horizon).
+func NewGroundMask(site Geodetic, minElevationRad float64) GroundMask {
+	s := math.Sin(minElevationRad)
+	return GroundMask{frame: newObserverFrame(site), sinMinEl: s, sin2MinEl: s * s}
+}
+
+// Above reports whether a satellite at ECEF position rSat sits at or above
+// the mask. Same arithmetic as the pass scan's predicate, so the two agree
+// bit for bit.
+func (m GroundMask) Above(rSat Vec3) bool {
+	return m.frame.aboveMask(rSat, m.sinMinEl, m.sin2MinEl)
+}
+
+// SiteECEF returns the observer's ECEF position (km).
+func (m GroundMask) SiteECEF() Vec3 { return m.frame.rObs }
+
 // HaversineKm returns the great-circle distance between two geodetic points
 // on a spherical Earth of mean radius. Used by footprint and coverage
 // calculations where ellipsoidal precision is unnecessary.

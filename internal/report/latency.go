@@ -1,0 +1,49 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/stats"
+)
+
+// latencyQuantiles is the quantile grid every latency block prints. The
+// values come from stats.Quantiles — the shared quantile implementation —
+// so the CDF curve and the quantile rows can never disagree.
+var latencyQuantiles = []float64{0.10, 0.50, 0.90, 0.99}
+
+// LatencyCDF renders a delivery-latency distribution: an empirical CDF
+// curve over the samples (latencies in seconds) followed by the standard
+// quantile rows and the mean. An empty sample set renders a placeholder
+// line instead of a curve.
+func LatencyCDF(w io.Writer, title string, latenciesSec []float64, points int) error {
+	if len(latenciesSec) == 0 {
+		_, err := fmt.Fprintf(w, "%s: no delivered packets\n", title)
+		return err
+	}
+	c, err := stats.NewCDF(latenciesSec)
+	if err != nil {
+		return err
+	}
+	if err := CDFCurve(w, title, c, points); err != nil {
+		return err
+	}
+	qs := stats.Quantiles(latenciesSec, latencyQuantiles...)
+	for i, q := range latencyQuantiles {
+		if err := KV(w, fmt.Sprintf("p%02.0f latency", q*100), formatLatency(qs[i])); err != nil {
+			return err
+		}
+	}
+	return KV(w, "mean latency", formatLatency(stats.Mean(latenciesSec)))
+}
+
+// formatLatency renders seconds at a human scale: sub-minute values in
+// seconds, the rest in minutes.
+func formatLatency(sec float64) string {
+	d := time.Duration(sec * float64(time.Second))
+	if d < time.Minute {
+		return fmt.Sprintf("%.2fs", sec)
+	}
+	return fmt.Sprintf("%.1fmin", sec/60)
+}

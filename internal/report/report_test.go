@@ -120,3 +120,44 @@ func TestSectionAndKV(t *testing.T) {
 		t.Error("kv lines missing")
 	}
 }
+
+func TestLatencyCDF(t *testing.T) {
+	var b strings.Builder
+	lats := []float64{5, 30, 90, 600, 3600}
+	if err := LatencyCDF(&b, "relay latency", lats, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "relay latency") {
+		t.Error("title missing")
+	}
+	for _, row := range []string{"p10 latency", "p50 latency", "p90 latency", "p99 latency", "mean latency"} {
+		if !strings.Contains(out, row) {
+			t.Errorf("%q row missing:\n%s", row, out)
+		}
+	}
+	// Quantile rows must agree with the shared helper.
+	p50 := stats.Quantiles(lats, 0.5)[0]
+	if !strings.Contains(out, formatLatency(p50)) {
+		t.Errorf("p50 value %s missing:\n%s", formatLatency(p50), out)
+	}
+}
+
+func TestLatencyCDFEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := LatencyCDF(&b, "store latency", nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "store latency: no delivered packets\n" {
+		t.Errorf("placeholder = %q", got)
+	}
+}
+
+func TestFormatLatency(t *testing.T) {
+	if got := formatLatency(12.345); got != "12.35s" {
+		t.Errorf("sub-minute = %q", got)
+	}
+	if got := formatLatency(90); got != "1.5min" {
+		t.Errorf("minutes = %q", got)
+	}
+}

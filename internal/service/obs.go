@@ -41,7 +41,7 @@ func newServerMetrics(r *obs.Registry, s *Server) *serverMetrics {
 	for _, state := range []State{StateDone, StateFailed, StateCanceled} {
 		m.finished.With(string(state))
 	}
-	for _, kind := range []string{KindPassive, KindActive, KindCoverage, KindBackhaul} {
+	for _, kind := range supportedKinds {
 		m.campaign.With(kind)
 	}
 

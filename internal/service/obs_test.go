@@ -6,10 +6,12 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"github.com/sinet-io/sinet/internal/netgraph"
 	"github.com/sinet-io/sinet/internal/obs"
 	"github.com/sinet-io/sinet/internal/orbit"
 	"github.com/sinet-io/sinet/internal/sim"
@@ -203,4 +205,66 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 	if !strings.Contains(sb.String(), `sinet_sim_phase_seconds_count{phase="contacts"} 1`) {
 		t.Errorf("phase histogram missing contacts observation:\n%s", sb.String())
 	}
+}
+
+// TestMetricsExposeRoutingCounters serves a real routing campaign and
+// verifies the network-graph telemetry families land in the scrape:
+// topology builds, the ISL edge census, route computations and
+// per-policy deliveries.
+func TestMetricsExposeRoutingCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("propagates real orbits")
+	}
+	reg := obs.New()
+	defer orbit.SetMetrics(nil)
+	defer sim.SetMetrics(nil)
+	defer netgraph.SetMetrics(nil)
+	env := newTestEnv(t, Config{Workers: 1, QueueDepth: 2, Metrics: reg})
+
+	// All five families are pre-registered before any routing traffic.
+	first := env.scrape(t)
+	for _, want := range []string{
+		"sinet_topology_builds_total 0",
+		"sinet_isl_edges_live_total 0",
+		"sinet_isl_edges_dropped_total 0",
+		`sinet_route_computations_total{mode="full"} 0`,
+		`sinet_deliveries_total{policy="relay"} 0`,
+		`sinet_campaign_seconds_count{kind="routing"} 0`,
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("pre-traffic scrape missing %q", want)
+		}
+	}
+
+	sub, code := env.submit(t, `{"kind":"routing","routing":{"days":1}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	env.awaitState(t, sub.ID, StateDone)
+
+	out := env.scrape(t)
+	for _, family := range []string{
+		"sinet_topology_builds_total",
+		"sinet_isl_edges_live_total",
+		`sinet_route_computations_total{mode="full"}`,
+		`sinet_deliveries_total{policy="relay"}`,
+		`sinet_deliveries_total{policy="store"}`,
+		`sinet_campaign_seconds_count{kind="routing"}`,
+	} {
+		if !scrapeCounterPositive(out, family) {
+			t.Errorf("scrape counter %q did not move:\n%s", family, out)
+		}
+	}
+}
+
+// scrapeCounterPositive reports whether the exposition line for the given
+// series name carries a value greater than zero.
+func scrapeCounterPositive(scrape, series string) bool {
+	for _, line := range strings.Split(scrape, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			return err == nil && v > 0
+		}
+	}
+	return false
 }

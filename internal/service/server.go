@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/sinet-io/sinet/internal/core"
+	"github.com/sinet-io/sinet/internal/netgraph"
 	"github.com/sinet-io/sinet/internal/obs"
 	"github.com/sinet-io/sinet/internal/orbit"
 	"github.com/sinet-io/sinet/internal/sim"
@@ -115,6 +116,7 @@ func New(cfg Config) *Server {
 	if cfg.Metrics != nil {
 		orbit.SetMetrics(cfg.Metrics)
 		sim.SetMetrics(cfg.Metrics)
+		netgraph.SetMetrics(cfg.Metrics)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {

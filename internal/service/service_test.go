@@ -550,3 +550,68 @@ func TestServeRealCoverageCampaign(t *testing.T) {
 		t.Fatalf("got %d latitude rows, want 2", len(stats))
 	}
 }
+
+// TestUnknownKindResponseEnumeratesKinds verifies the 400 body a client
+// gets for an unsupported kind names every kind the daemon can serve —
+// including routing — so the error is self-documenting.
+func TestUnknownKindResponseEnumeratesKinds(t *testing.T) {
+	env := newTestEnv(t, Config{Workers: 1, QueueDepth: 1, Runner: newGatedRunner(nil).run})
+	resp, err := http.Post(env.ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"kind":"teleport"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, kind := range supportedKinds {
+		if !bytes.Contains(body, []byte(kind)) {
+			t.Errorf("400 body %q does not list kind %q", body, kind)
+		}
+	}
+
+	// A routing spec with a bad policy is rejected the same way.
+	if _, status := env.submit(t, `{"kind":"routing","routing":{"policy":"teleport"}}`); status != http.StatusBadRequest {
+		t.Errorf("bad routing policy: status %d, want 400", status)
+	}
+}
+
+// TestServeRealRoutingCampaign runs a routing job through the daemon and
+// checks the served bytes are identical to calling the library directly —
+// the serving layer adds no serialization drift.
+func TestServeRealRoutingCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("propagates real orbits")
+	}
+	env := newTestEnv(t, Config{Workers: 1, QueueDepth: 4, CacheBytes: 1 << 20})
+	const body = `{"kind":"routing","routing":{"seed":9,"days":1,"policy":"compare"}}`
+	r, status := env.submit(t, body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	env.awaitState(t, r.ID, StateDone)
+	served, status := env.result(t, r.ID)
+	if status != http.StatusOK {
+		t.Fatalf("result status %d: %s", status, served)
+	}
+
+	var spec JobSpec
+	if err := json.Unmarshal([]byte(body), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Run(context.Background(), &spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarshalResult(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want) {
+		t.Fatalf("served routing bytes differ from the direct library call:\nserved %d bytes\ndirect %d bytes", len(served), len(want))
+	}
+}

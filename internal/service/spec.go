@@ -21,6 +21,7 @@ import (
 	"github.com/sinet-io/sinet/internal/core"
 	"github.com/sinet-io/sinet/internal/fault"
 	"github.com/sinet-io/sinet/internal/groundstation"
+	"github.com/sinet-io/sinet/internal/netgraph"
 	"github.com/sinet-io/sinet/internal/orbit"
 	"github.com/sinet-io/sinet/internal/sim"
 )
@@ -39,7 +40,12 @@ const (
 	KindActive   = "active"
 	KindCoverage = "coverage"
 	KindBackhaul = "backhaul"
+	KindRouting  = "routing"
 )
+
+// supportedKinds is the one list every kind-related error enumerates, so a
+// newly added kind cannot be served but missing from the 400 message.
+var supportedKinds = []string{KindPassive, KindActive, KindCoverage, KindBackhaul, KindRouting}
 
 // Serving-side admission bounds: a daemon serving many clients must bound
 // the work one request can demand. These are generous for every workload
@@ -90,6 +96,7 @@ type JobSpec struct {
 	Active   *ActiveSpec   `json:"active,omitempty"`
 	Coverage *CoverageSpec `json:"coverage,omitempty"`
 	Backhaul *BackhaulSpec `json:"backhaul,omitempty"`
+	Routing  *RoutingSpec  `json:"routing,omitempty"`
 }
 
 // WindowSpec is one maintenance window.
@@ -106,6 +113,8 @@ type FaultSpec struct {
 	DrainMTTR   Duration     `json:"drain_mttr,omitempty"`
 	SatMTBF     Duration     `json:"sat_mtbf,omitempty"`
 	SatMTTR     Duration     `json:"sat_mttr,omitempty"`
+	LinkMTBF    Duration     `json:"link_mtbf,omitempty"`
+	LinkMTTR    Duration     `json:"link_mttr,omitempty"`
 	Maintenance []WindowSpec `json:"maintenance,omitempty"`
 }
 
@@ -120,6 +129,8 @@ func (f *FaultSpec) config() *fault.Config {
 		DrainMTTR:   time.Duration(f.DrainMTTR),
 		SatMTBF:     time.Duration(f.SatMTBF),
 		SatMTTR:     time.Duration(f.SatMTTR),
+		LinkMTBF:    time.Duration(f.LinkMTBF),
+		LinkMTTR:    time.Duration(f.LinkMTTR),
 	}
 	for _, w := range f.Maintenance {
 		cfg.Maintenance = append(cfg.Maintenance, orbit.Window{Start: w.Start, End: w.End})
@@ -168,6 +179,21 @@ type CoverageSpec struct {
 	LatitudesDeg  []float64 `json:"latitudes_deg,omitempty"`
 	Start         time.Time `json:"start,omitempty"`
 	Days          int       `json:"days,omitempty"`
+}
+
+// RoutingSpec parameterizes a store-and-forward-vs-ISL-relay routing
+// campaign over the time-varying network graph.
+type RoutingSpec struct {
+	Seed           int64      `json:"seed"`
+	Start          time.Time  `json:"start,omitempty"`
+	Days           int        `json:"days,omitempty"`
+	Constellation  string     `json:"constellation,omitempty"`
+	SnapshotStep   Duration   `json:"snapshot_step,omitempty"`
+	MaxISLRangeKm  float64    `json:"max_isl_range_km,omitempty"`
+	HopProcessing  Duration   `json:"hop_processing,omitempty"`
+	PacketInterval Duration   `json:"packet_interval,omitempty"`
+	Policy         string     `json:"policy,omitempty"`
+	Faults         *FaultSpec `json:"faults,omitempty"`
 }
 
 // BackhaulSpec parameterizes a downlink-opportunity sweep over the
@@ -235,7 +261,7 @@ func weatherProvider(name string) (core.WeatherProvider, error) {
 // explicit value, the canonical form ConfigKey hashes. It is idempotent.
 func (s *JobSpec) Normalize() error {
 	sections := 0
-	for _, present := range []bool{s.Passive != nil, s.Active != nil, s.Coverage != nil, s.Backhaul != nil} {
+	for _, present := range []bool{s.Passive != nil, s.Active != nil, s.Coverage != nil, s.Backhaul != nil, s.Routing != nil} {
 		if present {
 			sections++
 		}
@@ -264,10 +290,15 @@ func (s *JobSpec) Normalize() error {
 			s.Backhaul = &BackhaulSpec{}
 		}
 		return s.Backhaul.normalize()
+	case KindRouting:
+		if s.Routing == nil {
+			s.Routing = &RoutingSpec{}
+		}
+		return s.Routing.normalize()
 	case "":
-		return specErr("kind is required (passive, active, coverage, backhaul)")
+		return specErr("kind is required (%s)", strings.Join(supportedKinds, ", "))
 	}
-	return specErr("unknown kind %q (passive, active, coverage, backhaul)", s.Kind)
+	return specErr("unknown kind %q (%s)", s.Kind, strings.Join(supportedKinds, ", "))
 }
 
 func checkDays(days int) error {
@@ -513,6 +544,85 @@ func (c *CoverageSpec) normalize() error {
 	return nil
 }
 
+func (r *RoutingSpec) normalize() error {
+	if err := checkDays(r.Days); err != nil {
+		return err
+	}
+	if r.Days == 0 {
+		r.Days = 1
+	}
+	if r.Start.IsZero() {
+		r.Start = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	}
+	r.Start = r.Start.UTC()
+	if r.Constellation == "" {
+		r.Constellation = "Tianqi"
+	}
+	cons, err := constellationByName(r.Constellation, r.Start)
+	if err != nil {
+		return err
+	}
+	r.Constellation = cons.Name
+	if r.SnapshotStep < 0 || r.HopProcessing < 0 || r.PacketInterval < 0 {
+		return specErr("snapshot_step, hop_processing and packet_interval must be non-negative")
+	}
+	if r.SnapshotStep == 0 {
+		r.SnapshotStep = Duration(netgraph.DefaultSnapshotStep)
+	}
+	if r.MaxISLRangeKm < 0 || r.MaxISLRangeKm != r.MaxISLRangeKm {
+		return specErr("max_isl_range_km must be non-negative, got %v", r.MaxISLRangeKm)
+	}
+	if r.MaxISLRangeKm == 0 {
+		r.MaxISLRangeKm = netgraph.DefaultMaxISLRangeKm
+	}
+	if r.HopProcessing == 0 {
+		r.HopProcessing = Duration(netgraph.DefaultHopProcessing)
+	}
+	if r.PacketInterval == 0 {
+		r.PacketInterval = Duration(30 * time.Minute)
+	}
+	switch strings.ToLower(r.Policy) {
+	case "", core.PolicyCompare:
+		r.Policy = core.PolicyCompare
+	case core.PolicyStore:
+		r.Policy = core.PolicyStore
+	case core.PolicyRelay:
+		r.Policy = core.PolicyRelay
+	default:
+		return specErr("unknown policy %q (%s, %s, %s)", r.Policy, core.PolicyStore, core.PolicyRelay, core.PolicyCompare)
+	}
+	cfg, err := r.config()
+	if err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return nil
+}
+
+func (r *RoutingSpec) config() (core.RoutingConfig, error) {
+	cfg := core.RoutingConfig{
+		Seed:           r.Seed,
+		Start:          r.Start,
+		Days:           r.Days,
+		SnapshotStep:   time.Duration(r.SnapshotStep),
+		MaxISLRangeKm:  r.MaxISLRangeKm,
+		HopProcessing:  time.Duration(r.HopProcessing),
+		PacketInterval: time.Duration(r.PacketInterval),
+		Policy:         r.Policy,
+		Faults:         r.Faults.config(),
+	}
+	if !strings.EqualFold(r.Constellation, "Tianqi") {
+		cons, err := constellationByName(r.Constellation, r.Start)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Constellation = &cons
+	}
+	return cfg, nil
+}
+
 func (b *BackhaulSpec) normalize() error {
 	if err := checkDays(b.Days); err != nil {
 		return err
@@ -575,8 +685,15 @@ func Run(ctx context.Context, spec *JobSpec, progress core.ProgressFunc) (any, e
 		return core.RevisitAnalysisCtx(ctx, cons, c.LatitudesDeg, c.Start, c.Days, progress)
 	case KindBackhaul:
 		return runBackhaul(ctx, spec.Backhaul, progress)
+	case KindRouting:
+		cfg, err := spec.Routing.config()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Progress = progress
+		return core.RunRoutingCtx(ctx, cfg)
 	}
-	return nil, specErr("unknown kind %q", spec.Kind)
+	return nil, specErr("unknown kind %q (%s)", spec.Kind, strings.Join(supportedKinds, ", "))
 }
 
 // runBackhaul sweeps the operator ground segment for each satellite's

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/sinet-io/sinet/internal/netgraph"
 )
 
 func TestNormalizeAppliesPassiveDefaults(t *testing.T) {
@@ -148,5 +150,94 @@ func TestSpecJSONRoundTripKeepsKey(t *testing.T) {
 	}
 	if k1 != k2 {
 		t.Fatalf("JSON round-trip moved the key: %s -> %s", k1, k2)
+	}
+}
+
+func TestNormalizeAppliesRoutingDefaults(t *testing.T) {
+	spec := &JobSpec{Kind: KindRouting}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	r := spec.Routing
+	if r == nil {
+		t.Fatal("Normalize did not create the routing section")
+	}
+	if r.Days != 1 || r.Constellation != "Tianqi" || r.Policy != "compare" {
+		t.Errorf("routing defaults wrong: %+v", r)
+	}
+	if time.Duration(r.SnapshotStep) != netgraph.DefaultSnapshotStep {
+		t.Errorf("SnapshotStep = %v", time.Duration(r.SnapshotStep))
+	}
+	if r.MaxISLRangeKm != netgraph.DefaultMaxISLRangeKm {
+		t.Errorf("MaxISLRangeKm = %v", r.MaxISLRangeKm)
+	}
+	if time.Duration(r.HopProcessing) != netgraph.DefaultHopProcessing {
+		t.Errorf("HopProcessing = %v", time.Duration(r.HopProcessing))
+	}
+	if time.Duration(r.PacketInterval) != 30*time.Minute {
+		t.Errorf("PacketInterval = %v", time.Duration(r.PacketInterval))
+	}
+
+	// Normalize is idempotent: a second pass changes nothing, so sparse
+	// and explicit-default routing specs share one content key.
+	before := *r
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if *spec.Routing != before {
+		t.Errorf("second Normalize moved the spec: %+v -> %+v", before, *spec.Routing)
+	}
+	k1, err := ConfigKey(&JobSpec{Kind: KindRouting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ConfigKey(&JobSpec{Kind: KindRouting, Routing: &RoutingSpec{Days: 1, Policy: "COMPARE"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("sparse and explicit-default routing specs have different keys: %s vs %s", k1, k2)
+	}
+}
+
+func TestNormalizeRoutingRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *JobSpec
+		want string
+	}{
+		{"unknown policy", &JobSpec{Kind: KindRouting, Routing: &RoutingSpec{Policy: "teleport"}}, "unknown policy"},
+		{"days over limit", &JobSpec{Kind: KindRouting, Routing: &RoutingSpec{Days: maxDays + 1}}, "exceeds the serving limit"},
+		{"negative snapshot step", &JobSpec{Kind: KindRouting, Routing: &RoutingSpec{SnapshotStep: Duration(-1)}}, "must be non-negative"},
+		{"unknown constellation", &JobSpec{Kind: KindRouting, Routing: &RoutingSpec{Constellation: "Starlink9000"}}, "unknown constellation"},
+		{"link pair half set", &JobSpec{Kind: KindRouting, Routing: &RoutingSpec{Faults: &FaultSpec{LinkMTBF: Duration(time.Hour)}}}, "link MTBF and MTTR"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Normalize()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: error %v does not wrap ErrBadSpec", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestUnknownKindErrorEnumeratesKinds(t *testing.T) {
+	err := (&JobSpec{Kind: "teleport"}).Normalize()
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	for _, kind := range supportedKinds {
+		if !strings.Contains(err.Error(), kind) {
+			t.Errorf("unknown-kind error %q does not list %q", err, kind)
+		}
+	}
+	if !strings.Contains(err.Error(), KindRouting) {
+		t.Errorf("unknown-kind error %q does not list routing", err)
 	}
 }

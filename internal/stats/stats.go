@@ -84,6 +84,30 @@ func Percentile(xs []float64, p float64) float64 {
 	return percentileSorted(sorted, p)
 }
 
+// Quantiles evaluates many quantiles (each q in [0, 1]) against one sorted
+// copy of xs: the sort is paid once however many quantiles are requested.
+// Returns NaNs for an empty sample set. This — via percentileSorted — is
+// the package's single quantile implementation: Percentile, Median,
+// Summarize, CDF.Quantile and the report layer's latency CDFs all route
+// through the same interpolation, so no two outputs can disagree on what
+// "p90" means.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = percentileSorted(sorted, q*100)
+	}
+	return out
+}
+
 func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]

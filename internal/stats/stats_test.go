@@ -232,3 +232,57 @@ func TestRatio(t *testing.T) {
 		t.Error("Ratio by zero must be 0")
 	}
 }
+
+func TestQuantilesMatchPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 40
+	}
+	qs := []float64{0.10, 0.50, 0.90, 0.99}
+	got := Quantiles(xs, qs...)
+	for i, q := range qs {
+		if want := Percentile(xs, q*100); got[i] != want {
+			t.Errorf("Quantiles[%v] = %v, Percentile = %v", q, got[i], want)
+		}
+	}
+	// The batch helper must not disturb its input.
+	if !sort.Float64sAreSorted(xs) {
+		// xs was random; the real check is against a copy.
+		cp := append([]float64(nil), xs...)
+		Quantiles(xs, 0.5)
+		for i := range xs {
+			if xs[i] != cp[i] {
+				t.Fatal("Quantiles mutated its input")
+			}
+		}
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	got := Quantiles(nil, 0.1, 0.5, 0.9)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if !math.IsNaN(v) {
+			t.Errorf("empty quantile %d = %v, want NaN", i, v)
+		}
+	}
+	if len(Quantiles(nil)) != 0 {
+		t.Error("no quantiles requested must return empty slice")
+	}
+}
+
+func TestQuantilesKnownValues(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Quantiles(xs, 0, 1)[0]; got != 15 {
+		t.Errorf("q0 = %v, want 15", got)
+	}
+	if got := Quantiles(xs, 0, 1)[1]; got != 50 {
+		t.Errorf("q1 = %v, want 50", got)
+	}
+	if got := Quantiles(xs, 0.5)[0]; got != 35 {
+		t.Errorf("median = %v, want 35", got)
+	}
+}

@@ -128,6 +128,10 @@ func CSTP(epoch time.Time) Constellation { return constellation.CSTP(epoch) }
 // AllConstellations returns the four measured fleets in paper order.
 func AllConstellations(epoch time.Time) []Constellation { return constellation.All(epoch) }
 
+// Mega synthesizes a Starlink-class Walker fleet of n satellites for
+// beyond-the-paper scale studies (see constellation.Mega).
+func Mega(epoch time.Time, n int) Constellation { return constellation.Mega(epoch, n) }
+
 // FootprintKm2 returns a satellite's coverage-cap area for an altitude and
 // minimum elevation.
 func FootprintKm2(altKm, minElevationRad float64) float64 {
@@ -199,6 +203,31 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 // RunTerrestrial executes the terrestrial baseline campaign.
 func RunTerrestrial(cfg TerrestrialConfig) (*TerrestrialResult, error) {
 	return core.RunTerrestrial(cfg)
+}
+
+// RoutingConfig configures a store-and-forward-vs-ISL-relay routing
+// campaign over the time-varying network graph.
+type RoutingConfig = core.RoutingConfig
+
+// RoutingResult is a completed routing campaign.
+type RoutingResult = core.RoutingResult
+
+// RoutedPacket is one packet's delivery record under both policies.
+type RoutedPacket = core.RoutedPacket
+
+// Routing delivery policies.
+const (
+	PolicyStore   = core.PolicyStore
+	PolicyRelay   = core.PolicyRelay
+	PolicyCompare = core.PolicyCompare
+)
+
+// RunRouting executes a routing campaign.
+func RunRouting(cfg RoutingConfig) (*RoutingResult, error) { return core.RunRouting(cfg) }
+
+// RunRoutingCtx is RunRouting with cooperative cancellation.
+func RunRoutingCtx(ctx context.Context, cfg RoutingConfig) (*RoutingResult, error) {
+	return core.RunRoutingCtx(ctx, cfg)
 }
 
 // --- Fault injection ------------------------------------------------------
