@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build test race bench bench-smoke fuzz-smoke serve-smoke staticcheck govulncheck ci
+.PHONY: all build test race bench bench-smoke fuzz-smoke serve-smoke crash-smoke staticcheck govulncheck ci
 
 all: build
 
@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # bench runs every benchmark with -benchmem and converts the output into a
 # machine-readable BENCH_<date>.json via cmd/benchjson, so runs are easy to
@@ -44,6 +44,12 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) run ./cmd/sinetd -smoke
 
+# crash-smoke is the crash drill: SIGKILL a real sinetd mid-campaign, restart
+# it on the same journal, and require the resumed job to serve bytes identical
+# to an uninterrupted run (see cmd/sinetd/crash_test.go).
+crash-smoke:
+	$(GO) test ./cmd/sinetd/ -run TestCrashKillResumeServesByteIdenticalResult -count=1 -v
+
 # staticcheck / govulncheck run only when installed, so `make ci` stays usable
 # in hermetic environments; the GitHub workflow installs both.
 staticcheck:
@@ -59,8 +65,9 @@ govulncheck:
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...   # includes the internal/obs concurrent-scrape tests
+	$(GO) test -race -shuffle=on ./...   # includes the internal/obs concurrent-scrape tests
 	$(MAKE) staticcheck
 	$(MAKE) govulncheck
 	$(MAKE) bench-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) crash-smoke

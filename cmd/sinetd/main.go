@@ -6,6 +6,7 @@
 //
 //	sinetd [-addr :8470] [-workers N] [-queue 64] [-cache-bytes 268435456]
 //	       [-log-format text|json] [-pprof]
+//	       [-journal-dir DIR] [-job-deadline 0] [-max-retries 0] [-heartbeat-timeout 0]
 //	sinetd -smoke   # self-check: serve on a random port, submit a small
 //	                # job over HTTP, diff against the direct library call
 //
@@ -31,6 +32,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -72,6 +74,10 @@ func run(args []string, stdout io.Writer) error {
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof/* profiling endpoints")
 	smoke := fs.Bool("smoke", false, "run the serve-smoke self check and exit")
+	journalDir := fs.String("journal-dir", "", "directory for the durable job journal (empty disables crash recovery)")
+	jobDeadline := fs.Duration("job-deadline", 0, "per-attempt wall-clock deadline (0 disables)")
+	maxRetries := fs.Int("max-retries", 0, "retry budget for retryable job failures")
+	heartbeat := fs.Duration("heartbeat-timeout", 0, "cancel and retry attempts silent for this long (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +93,15 @@ func run(args []string, stdout io.Writer) error {
 	if *drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout)
 	}
+	if *jobDeadline < 0 {
+		return fmt.Errorf("-job-deadline must be non-negative, got %v", *jobDeadline)
+	}
+	if *maxRetries < 0 {
+		return fmt.Errorf("-max-retries must be non-negative, got %d", *maxRetries)
+	}
+	if *heartbeat < 0 {
+		return fmt.Errorf("-heartbeat-timeout must be non-negative, got %v", *heartbeat)
+	}
 	logger, err := newLogger(*logFormat, os.Stderr)
 	if err != nil {
 		return err
@@ -96,11 +111,20 @@ func run(args []string, stdout io.Writer) error {
 		return runSmoke(stdout)
 	}
 	cfg := service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheBytes: *cacheBytes,
-		Metrics:    obs.New(),
-		Logger:     logger,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheBytes:       *cacheBytes,
+		Metrics:          obs.New(),
+		Logger:           logger,
+		JobDeadline:      *jobDeadline,
+		MaxRetries:       *maxRetries,
+		HeartbeatTimeout: *heartbeat,
+	}
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			return fmt.Errorf("-journal-dir: %w", err)
+		}
+		cfg.JournalPath = filepath.Join(*journalDir, "jobs.journal")
 	}
 	return serve(*addr, cfg, *drainTimeout, *pprofOn, logger)
 }
@@ -111,7 +135,10 @@ func serve(addr string, cfg service.Config, drainTimeout time.Duration, pprofOn 
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	svc := service.New(cfg)
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
 	if pprofOn {

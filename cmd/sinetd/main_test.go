@@ -18,6 +18,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"negative cache", []string{"-cache-bytes", "-1"}, "-cache-bytes must be non-negative"},
 		{"zero drain timeout", []string{"-drain-timeout", "0s"}, "-drain-timeout must be positive"},
 		{"bad log format", []string{"-log-format", "yaml"}, "-log-format must be text or json"},
+		{"negative job deadline", []string{"-job-deadline", "-1s"}, "-job-deadline must be non-negative"},
+		{"negative max retries", []string{"-max-retries", "-1"}, "-max-retries must be non-negative"},
+		{"negative heartbeat", []string{"-heartbeat-timeout", "-1s"}, "-heartbeat-timeout must be non-negative"},
 	}
 	for _, tc := range cases {
 		err := run(tc.args, io.Discard)

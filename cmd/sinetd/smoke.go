@@ -27,7 +27,10 @@ const smokeSpec = `{
 // require the served bytes to be byte-identical to the same campaign run
 // directly through the sinet library.
 func runSmoke(stdout io.Writer) error {
-	svc := service.New(service.Config{CacheBytes: 0})
+	svc, err := service.New(service.Config{CacheBytes: 0})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -65,8 +66,23 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Distinguish "left at default" from "explicitly set": zero means
+	// "default"/"off" for these flags only when the user never typed them,
+	// so an explicit `-isl-range-km 0` is a config mistake to reject, not
+	// silently reinterpret.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *days <= 0 {
 		return fmt.Errorf("-days must be positive, got %d", *days)
+	}
+	if set["isl-range-km"] && (math.IsNaN(*islRangeKm) || *islRangeKm <= 0) {
+		return fmt.Errorf("-isl-range-km must be positive when set, got %v", *islRangeKm)
+	}
+	if set["link-mtbf"] && *linkMTBF <= 0 {
+		return fmt.Errorf("-link-mtbf must be positive when set, got %v", *linkMTBF)
+	}
+	if set["link-mttr"] && *linkMTTR <= 0 {
+		return fmt.Errorf("-link-mttr must be positive when set, got %v", *linkMTTR)
 	}
 	if (*stationMTBF > 0) != (*stationMTTR > 0) {
 		return fmt.Errorf("-station-mtbf and -station-mttr must be set together")

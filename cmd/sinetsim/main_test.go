@@ -87,7 +87,13 @@ func TestRunRejectsBadRoutingFlags(t *testing.T) {
 		{"policy without isl", []string{"-routing-policy", "relay"}, "require -isl"},
 		{"link mtbf without mttr", []string{"-isl", "-link-mtbf", "6h"}, "must be set together"},
 		{"link mttr without mtbf", []string{"-isl", "-link-mttr", "1h"}, "must be set together"},
-		{"negative link pair", []string{"-isl", "-link-mtbf", "-6h", "-link-mttr", "-1h"}, "non-negative"},
+		{"negative link pair", []string{"-isl", "-link-mtbf", "-6h", "-link-mttr", "-1h"}, "-link-mtbf must be positive"},
+		{"explicit zero link mtbf", []string{"-isl", "-link-mtbf", "0s", "-link-mttr", "1h"}, "-link-mtbf must be positive"},
+		{"explicit zero link mttr", []string{"-isl", "-link-mtbf", "6h", "-link-mttr", "0s"}, "-link-mttr must be positive"},
+		{"explicit zero link pair", []string{"-isl", "-link-mtbf", "0s", "-link-mttr", "0s"}, "-link-mtbf must be positive"},
+		{"explicit zero isl range", []string{"-isl", "-isl-range-km", "0"}, "-isl-range-km must be positive"},
+		{"negative isl range", []string{"-isl", "-isl-range-km", "-4000"}, "-isl-range-km must be positive"},
+		{"NaN isl range", []string{"-isl", "-isl-range-km", "NaN"}, "-isl-range-km must be positive"},
 		{"bad policy", []string{"-isl", "-routing-policy", "teleport"}, "Policy"},
 		{"two constellations", []string{"-isl", "-constellations", "Tianqi,FOSSA"}, "one constellation"},
 	}

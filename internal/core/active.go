@@ -83,11 +83,21 @@ type ActiveConfig struct {
 	// MaxInterpErrorKm bounds the interpolation position error when
 	// ExactEphemeris is false (0 = orbit.DefaultMaxInterpErrorKm).
 	MaxInterpErrorKm float64
-	// Progress observes the campaign's phases ("plan" as per-satellite
-	// schedules build, then "simulate" per elapsed campaign day); nil
-	// observes nothing. It never influences results and is excluded from
-	// serialization.
+	// Progress observes the campaign's phases ("ephemeris" as the shared
+	// grid samples, "plan" as per-satellite schedules build, then
+	// "simulate" per elapsed campaign day); nil observes nothing. It
+	// never influences results and is excluded from serialization.
 	Progress ProgressFunc `json:"-"`
+	// Checkpoint receives each completed "plan" unit (one satellite's
+	// beacon/wake/drain schedule) for durable snapshotting; Resume
+	// restores such a snapshot, skipping the pass and downlink-window
+	// searches it covers. The ephemeris grid and the serial event-driven
+	// "simulate" phase always rebuild — their state is not a pure
+	// per-unit value. Both fields are observe-only, excluded from
+	// serialization and config keys; a resumed run is byte-identical to
+	// an uninterrupted one (see core.Checkpoint).
+	Checkpoint CheckpointFunc `json:"-"`
+	Resume     *Checkpoint    `json:"-"`
 }
 
 func (c *ActiveConfig) setDefaults() {
@@ -202,6 +212,21 @@ type ActiveResult struct {
 	Meters map[string]*energy.Meter
 	// BufferDrops counts packets lost to satellite buffer pressure.
 	BufferDrops int
+}
+
+// satPlan is one satellite's precomputed schedule: the "plan" phase's
+// work unit. It holds only pure serializable values so completed units
+// checkpoint and restore byte-exactly; the gateway and fault schedule
+// objects that accompany it at simulation time are rebuilt after the
+// fan-out.
+type satPlan struct {
+	// Beacons holds the satellite's beacon instants, one slice per
+	// plantation pass.
+	Beacons [][]time.Time `json:"beacons,omitempty"`
+	// Wake are the merged pass windows a schedule-aware node wakes for.
+	Wake []orbit.Window `json:"wake,omitempty"`
+	// Drains are the booked downlink drain sessions.
+	Drains []time.Time `json:"drains,omitempty"`
 }
 
 // activeRunner holds the mutable state of one active campaign execution.
@@ -351,34 +376,42 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 
 	// Per-satellite prediction (passes, beacon times, downlink drains) is
 	// independent, SGP4-dominated work, so it fans out across workers into
-	// index-addressed slots. All workers fill rows of one shared
-	// struct-of-arrays ephemeris grid — each owns its row index, so the
-	// fan-out never races — and the plantation pass search, the 12-station
-	// downlink search, and the event-time gateway geometry all read the
-	// same trajectory samples. The engine scheduling below replays the
-	// slots serially in catalog order, so the event queue — and therefore
-	// the whole campaign — is identical to a serial build.
+	// index-addressed slots. The shared struct-of-arrays ephemeris grid
+	// samples first in its own phase — each worker owns its row index, so
+	// the fan-out never races — and the plantation pass search, the
+	// 12-station downlink search, and the event-time gateway geometry all
+	// read the same trajectory samples. The engine scheduling below
+	// replays the slots serially in catalog order, so the event queue —
+	// and therefore the whole campaign — is identical to a serial build.
 	grid := orbit.NewEphemerisGrid(props, cfg.Start, horizon, orbit.EphemerisConfig{
 		ScanStep:         time.Minute,
 		Exact:            cfg.ExactEphemeris,
 		MaxInterpErrorKm: cfg.MaxInterpErrorKm,
 	})
-	type satPlan struct {
-		gw      *satellite.Gateway
-		beacons [][]time.Time
-		wake    []orbit.Window
-		drains  []time.Time
-		outage  fault.Schedule
-	}
-	plans := make([]satPlan, len(props))
-	if err := sim.ForEachPhase("plan", len(props), func(i int) error {
+	if err := sim.ForEachPhase("ephemeris", len(props), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		plan := &plans[i]
 		grid.Propagate(i)
+		return nil
+	}, cfg.Progress.phase("ephemeris")); err != nil {
+		return nil, err
+	}
+	grid.Finish()
+
+	// The plan phase's units are pure serializable schedules, so they
+	// checkpoint: a resumed campaign restores completed satellites'
+	// beacon/wake/drain times and recomputes only the rest. Gateways and
+	// fault schedules rebuild serially below — both are cheap and
+	// deterministic (named RNG streams), only the searches are expensive.
+	plans := make([]satPlan, len(props))
+	if err := forEachCheckpointed("plan", plans, cfg.Resume, cfg.Checkpoint, cfg.Progress, func(i int) (satPlan, error) {
+		if err := ctx.Err(); err != nil {
+			return satPlan{}, err
+		}
+		var plan satPlan
 		eph := grid.Sat(i)
-		plan.gw = satellite.NewGateway(eph, cons.BeaconInterval, cfg.SatBufferCapacity)
+		gw := satellite.NewGateway(eph, cons.BeaconInterval, cfg.SatBufferCapacity)
 
 		pp := orbit.NewEphemerisPredictor(eph)
 		passes := pp.Passes(site, cfg.Start, end, 0)
@@ -392,10 +425,10 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 				}
 			}
 			passes = kept
-			plan.wake = orbit.MergeWindows(passes)
+			plan.Wake = orbit.MergeWindows(passes)
 		}
 		for _, pass := range passes {
-			plan.beacons = append(plan.beacons, plan.gw.BeaconTimes(pass.AOS, pass.LOS))
+			plan.Beacons = append(plan.Beacons, gw.BeaconTimes(pass.AOS, pass.LOS))
 		}
 		var windows []orbit.Window
 		if drainFaults {
@@ -408,23 +441,19 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 		// Operators book roughly two drain sessions per revolution when
 		// geometry allows; the emergent mean store-and-forward delay is
 		// what Fig. 5d's delivery segment measures.
-		plan.drains = backhaul.ScheduleDrains(windows, 150*time.Minute)
-		if satFaults {
-			plan.outage = cfg.Faults.SatSchedule(cfg.Seed, plan.gw.NoradID, cfg.Start, end)
-		}
-		return nil
-	}, cfg.Progress.phase("plan")); err != nil {
+		plan.Drains = backhaul.ScheduleDrains(windows, 150*time.Minute)
+		return plan, nil
+	}); err != nil {
 		return nil, err
 	}
-	grid.Finish()
 	for i := range plans {
-		gw := plans[i].gw
+		gw := satellite.NewGateway(grid.Sat(i), cons.BeaconInterval, cfg.SatBufferCapacity)
 		r.gateways[gw.NoradID] = gw
 		if satFaults {
-			r.satOutages[gw.NoradID] = plans[i].outage
+			r.satOutages[gw.NoradID] = cfg.Faults.SatSchedule(cfg.Seed, gw.NoradID, cfg.Start, end)
 		}
-		r.wakeWindows = append(r.wakeWindows, plans[i].wake...)
-		for _, bts := range plans[i].beacons {
+		r.wakeWindows = append(r.wakeWindows, plans[i].Wake...)
+		for _, bts := range plans[i].Beacons {
 			for _, bt := range bts {
 				bt := bt
 				gwID := gw.NoradID
@@ -433,8 +462,8 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 				}
 			}
 		}
-		r.drains[gw.NoradID] = plans[i].drains
-		for _, dt := range plans[i].drains {
+		r.drains[gw.NoradID] = plans[i].Drains
+		for _, dt := range plans[i].Drains {
 			dt := dt
 			gwID := gw.NoradID
 			if err := r.engine.Schedule(dt, func(*sim.Engine) { r.onDrain(gwID, dt) }); err != nil {

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"encoding/json"
+	"sync"
+
+	"github.com/sinet-io/sinet/internal/sim"
+)
+
+// CheckpointFunc receives one completed work unit's snapshot: the campaign
+// phase it belongs to, its index and the phase's unit count, and the
+// unit's serialized output. Calls arrive serialized (never concurrently),
+// in completion order — NOT index order; the snapshot is index-addressed
+// precisely so order does not matter. Implementations persist the unit
+// (sinetd appends it to the job journal) and must not mutate the byte
+// slice. Like ProgressFunc it observes execution without parameterizing
+// it: the field is excluded from JSON serialization and config keys, and
+// attaching one never changes campaign results.
+//
+// Only phases whose units are pure serializable values checkpoint:
+// "contacts" (passive), "plan" (active), "latitudes" (coverage),
+// "packets" (routing) and the service's "satellites" (backhaul). Shared
+// setup phases ("ephemeris", "topology") rebuild from the config on
+// resume — their outputs are large in-memory structures that every
+// resumed unit reads anyway.
+type CheckpointFunc func(phase string, index, total int, unit []byte)
+
+// Checkpoint is a campaign resume point: for each checkpointable phase,
+// the serialized outputs of the work units completed so far. Passing one
+// as a config's Resume restores those units instead of recomputing them.
+//
+// Resumption is byte-exact by construction: the worker pool writes each
+// unit into an index-addressed slot merged in serial order, units are
+// pure values of their inputs (every stochastic draw comes from a named
+// per-unit RNG stream), and the snapshot JSON round-trips exactly (Go
+// time.Time and float64 encode/decode losslessly) — so a slot restored
+// from a snapshot holds the same value the recomputation would have
+// produced, and the merged result is bit-identical to an uninterrupted
+// run. The kill-and-resume golden tests pin this.
+type Checkpoint struct {
+	Phases map[string]*PhaseSnapshot `json:"phases"`
+}
+
+// PhaseSnapshot is one phase's completed units, keyed by unit index.
+type PhaseSnapshot struct {
+	// Total is the phase's unit count when the snapshot was taken. A
+	// snapshot only restores into a phase of the same size: a config
+	// change that alters the unit count invalidates it.
+	Total int `json:"total"`
+	// Units maps unit index to the unit's serialized output.
+	Units map[int]json.RawMessage `json:"units"`
+}
+
+// NewCheckpoint returns an empty checkpoint ready for Add.
+func NewCheckpoint() *Checkpoint {
+	return &Checkpoint{Phases: map[string]*PhaseSnapshot{}}
+}
+
+// Add records one completed unit. It is not safe for concurrent use; the
+// CheckpointFunc serialization contract means callers feeding a
+// checkpoint from a running campaign need no extra locking, but callers
+// folding journal records must do so from one goroutine.
+func (c *Checkpoint) Add(phase string, index, total int, unit []byte) {
+	if c.Phases == nil {
+		c.Phases = map[string]*PhaseSnapshot{}
+	}
+	ps := c.Phases[phase]
+	if ps == nil || ps.Total != total {
+		// First unit of the phase — or a unit count mismatch, meaning the
+		// snapshot predates a config change: start the phase over.
+		ps = &PhaseSnapshot{Total: total, Units: map[int]json.RawMessage{}}
+		c.Phases[phase] = ps
+	}
+	ps.Units[index] = append(json.RawMessage(nil), unit...)
+}
+
+// Len reports the total number of snapshotted units across phases.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, ps := range c.Phases {
+		n += len(ps.Units)
+	}
+	return n
+}
+
+// snapshot returns the named phase's snapshot if it matches the phase's
+// current unit count, else nil. Nil-receiver safe.
+func (c *Checkpoint) snapshot(phase string, total int) *PhaseSnapshot {
+	if c == nil || c.Phases == nil {
+		return nil
+	}
+	ps := c.Phases[phase]
+	if ps == nil || ps.Total != total {
+		return nil
+	}
+	return ps
+}
+
+// forEachCheckpointed fans one checkpointable phase across the worker
+// pool: out's length is the unit count, fn(i) computes unit i. Units
+// present in resume are restored by JSON decode instead of recomputed;
+// newly computed units are serialized and handed to save. Progress spans
+// the whole phase (restored units count as already complete), preserving
+// the strictly-increasing contract.
+func forEachCheckpointed[T any](phase string, out []T, resume *Checkpoint, save CheckpointFunc, progress ProgressFunc, fn func(i int) (T, error)) error {
+	n := len(out)
+	restored := make([]bool, n)
+	nRestored := 0
+	if ps := resume.snapshot(phase, n); ps != nil {
+		for idx, raw := range ps.Units {
+			if idx < 0 || idx >= n {
+				continue
+			}
+			var v T
+			if err := json.Unmarshal(raw, &v); err != nil {
+				continue // corrupt unit: recompute it
+			}
+			out[idx] = v
+			restored[idx] = true
+			nRestored++
+		}
+	}
+	pending := make([]int, 0, n-nRestored)
+	for i := 0; i < n; i++ {
+		if !restored[i] {
+			pending = append(pending, i)
+		}
+	}
+	if nRestored > 0 {
+		progress.report(phase, nRestored, n)
+	}
+	var onDone func(completed, total int)
+	if progress != nil {
+		onDone = func(completed, total int) { progress(phase, nRestored+completed, n) }
+	}
+	var mu sync.Mutex
+	return sim.ForEachPhase(phase, len(pending), func(k int) error {
+		i := pending[k]
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		if save != nil {
+			if raw, err := json.Marshal(v); err == nil {
+				mu.Lock()
+				save(phase, i, n, raw)
+				mu.Unlock()
+			}
+		}
+		return nil
+	}, onDone)
+}
+
+// ForEachCheckpointed is the exported fan-out for callers outside core
+// (the service's backhaul campaign) that thread checkpointing through
+// their own phases with the same restore/compute/save contract.
+func ForEachCheckpointed[T any](phase string, out []T, resume *Checkpoint, save CheckpointFunc, progress ProgressFunc, fn func(i int) (T, error)) error {
+	return forEachCheckpointed(phase, out, resume, save, progress, fn)
+}

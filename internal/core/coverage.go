@@ -43,6 +43,24 @@ func RevisitAnalysis(cons constellation.Constellation, latitudesDeg []float64, s
 // while gaps compute) and optional progress reporting over the "ephemeris"
 // and "latitudes" phases.
 func RevisitAnalysisCtx(ctx context.Context, cons constellation.Constellation, latitudesDeg []float64, start time.Time, days int, progress ProgressFunc) ([]RevisitStats, error) {
+	return RevisitAnalysisOpts(ctx, cons, latitudesDeg, start, days, CoverageOptions{Progress: progress})
+}
+
+// CoverageOptions carries the observe-only execution hooks of a revisit
+// analysis: progress reporting plus checkpoint capture/resume for the
+// "latitudes" phase (each RevisitStats is a pure serializable value).
+// The shared ephemeris grid always rebuilds on resume.
+type CoverageOptions struct {
+	Progress   ProgressFunc
+	Checkpoint CheckpointFunc
+	Resume     *Checkpoint
+}
+
+// RevisitAnalysisOpts is RevisitAnalysisCtx with checkpoint/resume
+// threading; a resumed analysis restores completed latitudes and is
+// byte-identical to an uninterrupted one.
+func RevisitAnalysisOpts(ctx context.Context, cons constellation.Constellation, latitudesDeg []float64, start time.Time, days int, opts CoverageOptions) ([]RevisitStats, error) {
+	progress := opts.Progress
 	props, err := cons.Propagators()
 	if err != nil {
 		return nil, err
@@ -66,9 +84,9 @@ func RevisitAnalysisCtx(ctx context.Context, cons constellation.Constellation, l
 	grid.Finish()
 
 	out := make([]RevisitStats, len(latitudesDeg))
-	if err := sim.ForEachPhase("latitudes", len(latitudesDeg), func(li int) error {
+	if err := forEachCheckpointed("latitudes", out, opts.Resume, opts.Checkpoint, progress, func(li int) (RevisitStats, error) {
 		if err := ctx.Err(); err != nil {
-			return err
+			return RevisitStats{}, err
 		}
 		site := orbit.NewGeodeticDeg(latitudesDeg[li], 0, 0)
 		passes := make([]orbit.Pass, 0, 256)
@@ -96,9 +114,8 @@ func RevisitAnalysisCtx(ctx context.Context, cons constellation.Constellation, l
 		if len(gaps) > 0 {
 			stats.MeanGap = sum / time.Duration(len(gaps))
 		}
-		out[li] = stats
-		return nil
-	}, progress.phase("latitudes")); err != nil {
+		return stats, nil
+	}); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -68,6 +68,13 @@ type PassiveConfig struct {
 	// "contacts") as their fan-outs complete; nil observes nothing. It
 	// never influences results and is excluded from serialization.
 	Progress ProgressFunc `json:"-"`
+	// Checkpoint receives each completed "contacts" unit for durable
+	// snapshotting; Resume restores such a snapshot, skipping the units
+	// it holds. Both observe-only fields are excluded from serialization
+	// and config keys, and a resumed run is byte-identical to an
+	// uninterrupted one (see core.Checkpoint).
+	Checkpoint CheckpointFunc `json:"-"`
+	Resume     *Checkpoint    `json:"-"`
 }
 
 func (c *PassiveConfig) setDefaults() {
@@ -289,24 +296,22 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 		}
 	}
 	units := make([]passiveUnit, len(pairs))
-	if err := sim.ForEachPhase("contacts", len(pairs), func(i int) error {
+	if err := forEachCheckpointed("contacts", units, cfg.Resume, cfg.Checkpoint, cfg.Progress, func(i int) (passiveUnit, error) {
 		p := pairs[i]
-		u, err := runPassiveSiteConstellation(ctx, cfg, p.s.site, p.s.stations, p.c, p.s.weather, p.s.start, end, p.s.outages)
-		units[i] = u
-		return err
-	}, cfg.Progress.phase("contacts")); err != nil {
+		return runPassiveSiteConstellation(ctx, cfg, p.s.site, p.s.stations, p.c, p.s.weather, p.s.start, end, p.s.outages)
+	}); err != nil {
 		return nil, err
 	}
 	var nContacts, nRecords int
 	for i := range units {
-		nContacts += len(units[i].contacts)
-		nRecords += len(units[i].records)
+		nContacts += len(units[i].Contacts)
+		nRecords += len(units[i].Records)
 	}
 	res.Contacts = make([]ContactStat, 0, nContacts)
 	res.Dataset.Records = make([]trace.Record, 0, nRecords)
 	for i := range units {
-		res.Contacts = append(res.Contacts, units[i].contacts...)
-		res.Dataset.Records = append(res.Dataset.Records, units[i].records...)
+		res.Contacts = append(res.Contacts, units[i].Contacts...)
+		res.Dataset.Records = append(res.Dataset.Records, units[i].Records...)
 	}
 	res.Dataset.SortByTime()
 	return res, nil
@@ -325,10 +330,11 @@ type consCtx struct {
 }
 
 // passiveUnit is the output of one (site, constellation) worker, merged
-// into the campaign result in serial order.
+// into the campaign result in serial order. Its fields are exported so a
+// unit snapshot serializes completely for checkpoint/resume.
 type passiveUnit struct {
-	contacts []ContactStat
-	records  []trace.Record
+	Contacts []ContactStat  `json:"contacts,omitempty"`
+	Records  []trace.Record `json:"records,omitempty"`
 }
 
 // runPassiveSiteConstellation simulates one (site, constellation) pair. It
@@ -383,8 +389,8 @@ func runPassiveSiteConstellation(ctx context.Context, cfg PassiveConfig, site Si
 	}
 
 	unit := passiveUnit{
-		contacts: make([]ContactStat, 0, len(passes)),
-		records:  make([]trace.Record, 0, 256),
+		Contacts: make([]ContactStat, 0, len(passes)),
+		Records:  make([]trace.Record, 0, 256),
 	}
 	beaconBuf := make([]time.Time, 0, 128)
 	// posArena backs every contact's RxPositions for this unit: each
@@ -450,7 +456,7 @@ func runPassiveSiteConstellation(ctx context.Context, cfg PassiveConfig, site Si
 			}
 
 			alt, _ := gw.AltitudeAt(bt)
-			unit.records = append(unit.records, trace.Record{
+			unit.Records = append(unit.Records, trace.Record{
 				At:            bt,
 				Kind:          trace.KindBeacon,
 				Station:       covering.ID,
@@ -473,7 +479,7 @@ func runPassiveSiteConstellation(ctx context.Context, cfg PassiveConfig, site Si
 		if len(posArena) > posStart {
 			stat.RxPositions = posArena[posStart:len(posArena):len(posArena)]
 		}
-		unit.contacts = append(unit.contacts, stat)
+		unit.Contacts = append(unit.Contacts, stat)
 	}
 	return unit, nil
 }

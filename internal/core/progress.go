@@ -21,6 +21,13 @@ func (p ProgressFunc) phase(name string) func(completed, total int) {
 	return func(completed, total int) { p(name, completed, total) }
 }
 
+// Phase is the exported phaseProgress adapter, for callers outside core
+// (the service's backhaul campaign) that drive sim.ForEachPhase with the
+// same nil-preserving contract.
+func (p ProgressFunc) Phase(name string) func(completed, total int) {
+	return p.phase(name)
+}
+
 // report invokes p when non-nil, for one-shot phase notifications outside
 // a fan-out (e.g. marking a simulation phase started or finished).
 func (p ProgressFunc) report(phase string, completed, total int) {

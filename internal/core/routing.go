@@ -62,6 +62,15 @@ type RoutingConfig struct {
 	// Progress observes the campaign's phases ("ephemeris", "topology",
 	// "packets"); nil observes nothing. Excluded from serialization.
 	Progress ProgressFunc `json:"-"`
+	// Checkpoint receives each completed "packets" unit (one satellite's
+	// routed packets) for durable snapshotting; Resume restores such a
+	// snapshot. Both are observe-only, excluded from serialization and
+	// config keys; a resumed run is byte-identical to an uninterrupted
+	// one (see core.Checkpoint). The "ephemeris" and "topology" phases
+	// rebuild on resume — their outputs are the shared in-memory
+	// structures every packet unit reads.
+	Checkpoint CheckpointFunc `json:"-"`
+	Resume     *Checkpoint    `json:"-"`
 }
 
 func (c *RoutingConfig) setDefaults() {
@@ -286,9 +295,9 @@ func RunRoutingCtx(ctx context.Context, cfg RoutingConfig) (*RoutingResult, erro
 	wantRelay := cfg.Policy == PolicyRelay || cfg.Policy == PolicyCompare
 	perSat := make([][]RoutedPacket, len(props))
 	nSats := len(props)
-	if err := sim.ForEachPhase("packets", nSats, func(i int) error {
+	if err := forEachCheckpointed("packets", perSat, cfg.Resume, cfg.Checkpoint, progress, func(i int) ([]RoutedPacket, error) {
 		if err := ctx.Err(); err != nil {
-			return err
+			return nil, err
 		}
 		norad := props[i].Elements().NoradID
 		var windows []orbit.Window
@@ -329,9 +338,8 @@ func RunRoutingCtx(ctx context.Context, cfg RoutingConfig) (*RoutingResult, erro
 			}
 			pkts = append(pkts, p)
 		}
-		perSat[i] = pkts
-		return nil
-	}, progress.phase("packets")); err != nil {
+		return pkts, nil
+	}); err != nil {
 		return nil, err
 	}
 

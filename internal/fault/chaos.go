@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/sim"
+)
+
+// This file is the chaos harness: deterministic process-level fault
+// injectors for exercising the serving layer's crash-safety machinery.
+// Where the rest of the package disrupts the *simulated* infrastructure
+// (station churn, satellite blackouts), these disrupt the *simulator
+// itself* — panicking workers, failing journal writes, stalling I/O — so
+// the daemon's retry budgets, journal degradation and watchdog paths can
+// be driven in tests without real hardware misbehaving on cue.
+
+// ErrInjected is the sentinel wrapped by every chaos-injected error, so
+// tests and callers can errors.Is the difference between injected faults
+// and real ones.
+var ErrInjected = errors.New("fault: injected")
+
+// PanicNth returns a hook that panics on its nth invocation (1-based) and
+// is a no-op on every other call. n <= 0 never panics. Safe for concurrent
+// use; exactly one call panics. Wire it into a campaign runner to model a
+// worker crashing mid-job: the serving layer must convert the panic into a
+// retryable attempt failure instead of losing the worker.
+func PanicNth(n int) func() {
+	var calls atomic.Int64
+	return func() {
+		if n > 0 && calls.Add(1) == int64(n) {
+			panic(fmt.Sprintf("fault: injected panic on call %d", n))
+		}
+	}
+}
+
+// JournalChaos returns a journal write/sync hook that fails operations
+// with probability p, each verdict drawn from the named stream
+// "chaos/journal/<name>" — the same seed and name always fail the same
+// sequence of operations, and two differently-named hooks never share a
+// pattern. The returned error wraps ErrInjected. p <= 0 never fails;
+// p >= 1 always fails.
+func JournalChaos(seed int64, name string, p float64) func(op string) error {
+	rng := sim.NewRNG(seed, "chaos/journal/"+name)
+	var mu sync.Mutex // RNG draws are not concurrency-safe
+	return func(op string) error {
+		mu.Lock()
+		fail := rng.Bool(p)
+		mu.Unlock()
+		if fail {
+			return fmt.Errorf("%w: journal %s failure", ErrInjected, op)
+		}
+		return nil
+	}
+}
+
+// ScheduleStall returns a hook that models slow I/O: each invocation
+// advances a virtual clock by step from start, and invocations landing in
+// a down window of sched stall for the given duration before returning
+// nil. Driving the schedule from the Gilbert machinery gives bursty,
+// reproducible stall episodes rather than a uniform slowdown.
+func ScheduleStall(sched Schedule, start time.Time, step, stall time.Duration) func(op string) error {
+	var calls atomic.Int64
+	return func(string) error {
+		n := calls.Add(1) - 1
+		if sched.Down(start.Add(time.Duration(n) * step)) {
+			time.Sleep(stall)
+		}
+		return nil
+	}
+}

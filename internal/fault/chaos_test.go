@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/orbit"
+)
+
+func TestPanicNthPanicsExactlyOnce(t *testing.T) {
+	hook := PanicNth(3)
+	panics := 0
+	for i := 0; i < 10; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+					if i != 2 {
+						t.Errorf("panicked on call %d, want call 3", i+1)
+					}
+				}
+			}()
+			hook()
+		}()
+	}
+	if panics != 1 {
+		t.Fatalf("panicked %d times, want exactly 1", panics)
+	}
+}
+
+func TestPanicNthZeroNeverPanics(t *testing.T) {
+	hook := PanicNth(0)
+	for i := 0; i < 100; i++ {
+		hook()
+	}
+}
+
+func TestPanicNthConcurrentSinglePanic(t *testing.T) {
+	hook := PanicNth(50)
+	var mu sync.Mutex
+	panics := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				func() {
+					defer func() {
+						if recover() != nil {
+							mu.Lock()
+							panics++
+							mu.Unlock()
+						}
+					}()
+					hook()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panics != 1 {
+		t.Fatalf("panicked %d times across goroutines, want exactly 1", panics)
+	}
+}
+
+func TestJournalChaosDeterministicAndSeeded(t *testing.T) {
+	pattern := func(seed int64, name string) []bool {
+		hook := JournalChaos(seed, name, 0.3)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = hook("write") != nil
+		}
+		return out
+	}
+	a, b := pattern(42, "svc"), pattern(42, "svc")
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed/name diverged at op %d", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("p=0.3 produced %d/%d failures, want a nontrivial mix", fails, len(a))
+	}
+	c := pattern(43, "svc")
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical failure patterns")
+	}
+}
+
+func TestJournalChaosErrorsWrapSentinel(t *testing.T) {
+	hook := JournalChaos(1, "always", 1)
+	err := hook("sync")
+	if err == nil {
+		t.Fatal("p=1 hook returned nil")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error %v does not wrap ErrInjected", err)
+	}
+	never := JournalChaos(1, "never", 0)
+	for i := 0; i < 50; i++ {
+		if err := never("write"); err != nil {
+			t.Fatalf("p=0 hook failed: %v", err)
+		}
+	}
+}
+
+func TestScheduleStallOnlyDuringDownWindows(t *testing.T) {
+	start := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	// Hand-built schedule: down over virtual minutes [2, 4), so with a
+	// one-minute step exactly ops 2 and 3 stall.
+	sched := newSchedule([]orbit.Window{{Start: start.Add(2 * time.Minute), End: start.Add(4 * time.Minute)}})
+	const stall = 30 * time.Millisecond
+	hook := ScheduleStall(sched, start, time.Minute, stall)
+	for i := 0; i < 6; i++ {
+		before := time.Now()
+		if err := hook("write"); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		took := time.Since(before)
+		stalled := took >= stall
+		wantStall := i == 2 || i == 3
+		if stalled != wantStall {
+			t.Errorf("op %d took %v, stall=%v want %v", i, took, stalled, wantStall)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"github.com/sinet-io/sinet/internal/core"
 )
 
 // State is a job's lifecycle position. The machine is
@@ -76,6 +78,18 @@ type Job struct {
 
 	cancelRequested bool
 	cancel          context.CancelFunc
+
+	// attempt counts begun executions, including attempts journaled by a
+	// previous process when the job was re-admitted after a crash.
+	attempt int
+	// stuck marks an attempt shot down by the heartbeat watchdog, so the
+	// worker can tell watchdog cancellation from a user cancel.
+	stuck    bool
+	lastBeat time.Time
+	// checkpoint accumulates the completed work units of every attempt;
+	// the next attempt (or the next process, via journal replay) resumes
+	// from it instead of recomputing.
+	checkpoint *core.Checkpoint
 
 	doneCh chan struct{}
 	subs   map[chan Event]struct{}
@@ -211,17 +225,21 @@ func (j *Job) setProgress(phase string, completed, total int) {
 }
 
 // begin moves the job to running and derives its cancellable context from
-// base. It returns false when the job is no longer runnable (canceled
-// while queued), leaving the worker free for the next job.
-func (j *Job) begin(base context.Context) (context.Context, bool) {
+// base, returning the 1-based attempt number. It returns false when the
+// job is no longer runnable (canceled while queued), leaving the worker
+// free for the next job.
+func (j *Job) begin(base context.Context) (context.Context, int, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateQueued {
-		return nil, false
+		return nil, 0, false
 	}
 	ctx, cancel := context.WithCancel(base)
 	j.state = StateRunning
 	j.started = time.Now().UTC()
+	j.lastBeat = j.started
+	j.stuck = false
+	j.attempt++
 	j.cancel = cancel
 	if j.cancelRequested {
 		// Cancel raced the pickup: run with an already-cancelled context so
@@ -229,7 +247,88 @@ func (j *Job) begin(base context.Context) (context.Context, bool) {
 		cancel()
 	}
 	j.publishLocked()
-	return ctx, true
+	return ctx, j.attempt, true
+}
+
+// Attempts reports how many executions the job has begun, including
+// attempts journaled before a restart.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
+// beat refreshes the heartbeat the watchdog checks. Progress reports and
+// checkpoint saves both count as signs of life.
+func (j *Job) beat() {
+	j.mu.Lock()
+	j.lastBeat = time.Now().UTC()
+	j.mu.Unlock()
+}
+
+// markStale cancels the current attempt of a running job whose heartbeat
+// is older than timeout, reporting whether this call shot it down. The
+// worker observes the cancellation, sees stuck set, and retries the
+// attempt under the normal budget.
+func (j *Job) markStale(timeout time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.stuck || time.Since(j.lastBeat) < timeout {
+		return false
+	}
+	j.stuck = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// staleAttempt reports whether the watchdog shot down the current attempt.
+func (j *Job) staleAttempt() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stuck
+}
+
+// requeue returns a running job to the queued state for a retry attempt.
+// It reports false when the job is no longer running (a cancel won the
+// race and finished it).
+func (j *Job) requeue() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return false
+	}
+	if j.cancel != nil {
+		j.cancel()
+		j.cancel = nil
+	}
+	j.state = StateQueued
+	j.started = time.Time{}
+	j.phase, j.completed, j.total = "", 0, 0
+	j.publishLocked()
+	return true
+}
+
+// addUnit accumulates one checkpointed work unit for the next attempt's
+// resume point. CheckpointFunc calls are serialized by contract and
+// restore happens before any save of the same phase, so the underlying
+// map is never accessed concurrently.
+func (j *Job) addUnit(phase string, index, total int, unit []byte) {
+	j.mu.Lock()
+	if j.checkpoint == nil {
+		j.checkpoint = core.NewCheckpoint()
+	}
+	cp := j.checkpoint
+	j.mu.Unlock()
+	cp.Add(phase, index, total, unit)
+}
+
+// resumePoint returns the accumulated checkpoint (nil when none).
+func (j *Job) resumePoint() *core.Checkpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpoint
 }
 
 // requestCancel asks the job to stop. A queued job cancels immediately; a

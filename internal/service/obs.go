@@ -16,6 +16,10 @@ type serverMetrics struct {
 	finished    *obs.CounterVec   // terminal jobs by state
 	campaign    *obs.HistogramVec // campaign wall time by kind
 	sse         *obs.Gauge        // live event-stream subscribers
+	replayed    *obs.Counter      // jobs re-admitted from the journal
+	retries     *obs.Counter      // retry attempts scheduled
+	journalErrs *obs.Counter      // failed journal appends
+	stale       *obs.Counter      // attempts shot down by the watchdog
 }
 
 // newServerMetrics registers the serving metrics into r and samples the
@@ -34,6 +38,10 @@ func newServerMetrics(r *obs.Registry, s *Server) *serverMetrics {
 		finished:    r.CounterVec("sinet_jobs_finished_total", "Jobs reaching a terminal state, by state.", "state"),
 		campaign:    r.HistogramVec("sinet_campaign_seconds", "Campaign wall time from worker pickup to terminal state, by kind.", "kind", obs.DurationBuckets),
 		sse:         r.Gauge("sinet_sse_subscribers", "Open SSE progress streams."),
+		replayed:    r.Counter("sinet_journal_replayed_jobs_total", "Incomplete jobs re-admitted from the journal at startup."),
+		retries:     r.Counter("sinet_job_retries_total", "Job retry attempts scheduled after retryable failures."),
+		journalErrs: r.Counter("sinet_journal_errors_total", "Journal appends that failed (durability degraded, job unaffected)."),
+		stale:       r.Counter("sinet_job_heartbeat_stale_total", "Running attempts cancelled by the heartbeat watchdog."),
 	}
 	for _, code := range []int{202, 400, 429, 500, 503} {
 		m.admission.With(strconv.Itoa(code))
@@ -91,6 +99,34 @@ func (m *serverMetrics) observeFinished(kind string, state State, seconds float6
 	m.finished.With(string(state)).Inc()
 	if seconds > 0 {
 		m.campaign.With(kind).Observe(seconds)
+	}
+}
+
+// observeReplayed counts one job re-admitted from the journal.
+func (m *serverMetrics) observeReplayed() {
+	if m != nil {
+		m.replayed.Inc()
+	}
+}
+
+// observeRetry counts one scheduled retry attempt.
+func (m *serverMetrics) observeRetry() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+// observeJournalError counts one failed journal append.
+func (m *serverMetrics) observeJournalError() {
+	if m != nil {
+		m.journalErrs.Inc()
+	}
+}
+
+// observeStale counts one watchdog-cancelled attempt.
+func (m *serverMetrics) observeStale() {
+	if m != nil {
+		m.stale.Inc()
 	}
 }
 

@@ -165,7 +165,7 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	baseline, err := Run(ctx, spec, nil)
+	baseline, err := Run(ctx, spec, RunContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 	defer orbit.SetMetrics(nil)
 	defer sim.SetMetrics(nil)
 
-	instrumented, err := Run(ctx, spec, nil)
+	instrumented, err := Run(ctx, spec, RunContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,11 +8,14 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/sinet-io/sinet/internal/core"
+	"github.com/sinet-io/sinet/internal/journal"
 	"github.com/sinet-io/sinet/internal/netgraph"
 	"github.com/sinet-io/sinet/internal/obs"
 	"github.com/sinet-io/sinet/internal/orbit"
@@ -27,10 +30,21 @@ var (
 	ErrQueueFull = errors.New("service: job queue full")
 )
 
+// RunContext carries the observe-only execution hooks of one job attempt:
+// progress reporting, checkpoint capture (each completed work unit is
+// appended to the job journal) and the resume point restored from an
+// earlier attempt or an earlier process. The zero value runs the campaign
+// plain; none of the hooks parameterize results.
+type RunContext struct {
+	Progress   core.ProgressFunc
+	Checkpoint core.CheckpointFunc
+	Resume     *core.Checkpoint
+}
+
 // RunnerFunc executes a normalized spec. The default is Run; tests inject
-// controllable fakes to exercise queueing, cancellation and shutdown
-// without simulating orbits.
-type RunnerFunc func(ctx context.Context, spec *JobSpec, progress core.ProgressFunc) (any, error)
+// controllable fakes to exercise queueing, cancellation, retry and
+// shutdown without simulating orbits.
+type RunnerFunc func(ctx context.Context, spec *JobSpec, rc RunContext) (any, error)
 
 // Config parameterizes a Server.
 type Config struct {
@@ -57,6 +71,30 @@ type Config struct {
 	// Logger, when non-nil, receives structured request and
 	// job-lifecycle logs. Nil logs nothing.
 	Logger *slog.Logger
+	// JournalPath, when non-empty, enables the durable job journal: every
+	// submit/start/checkpoint/retry/terminal transition is appended and
+	// fsynced, and New replays the file to re-admit jobs a crashed process
+	// left incomplete — under their original IDs, resuming from their last
+	// checkpoint. Empty disables durability entirely.
+	JournalPath string
+	// JournalHook, when non-nil, is called before every journal write and
+	// sync — the chaos-injection point (see internal/fault). A returned
+	// error fails that append (counted, logged, never fatal to the job).
+	JournalHook journal.Hook
+	// JobDeadline bounds the wall time of one attempt; an attempt
+	// exceeding it is cancelled and retried under the budget. 0 disables.
+	JobDeadline time.Duration
+	// MaxRetries is the retry budget for retryable attempt failures
+	// (deadline, watchdog, panic, transient errors). 0 means an attempt
+	// failure is final.
+	MaxRetries int
+	// RetryBackoff is the base of the exponential retry backoff
+	// (default 1s, capped at 1 minute, deterministically jittered).
+	RetryBackoff time.Duration
+	// HeartbeatTimeout arms the staleness watchdog: a running attempt
+	// reporting no progress or checkpoint for this long is shot down and
+	// retried. 0 disables the watchdog.
+	HeartbeatTimeout time.Duration
 }
 
 // Server is the campaign-serving engine: registry, bounded queue, worker
@@ -71,7 +109,8 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	inflight map[Key]*Job // queued or running, by content key
+	inflight map[Key]*Job            // queued or running, by content key
+	timers   map[string]*time.Timer // retry backoff timers by job ID
 	draining bool
 	seq      uint64
 
@@ -80,13 +119,19 @@ type Server struct {
 	cancelBase context.CancelFunc
 	wg         sync.WaitGroup
 
+	journal      *journal.Journal
+	closeJournal sync.Once
+
 	simulations atomic.Uint64
 	started     time.Time
 }
 
 // New builds and starts a server: its workers are consuming the queue when
-// New returns. Stop it with Shutdown.
-func New(cfg Config) *Server {
+// New returns. With a JournalPath configured it first replays the journal,
+// truncating any torn tail, and re-admits every job the previous process
+// left incomplete — so a restart after a crash picks campaigns back up
+// from their last checkpoint. Stop it with Shutdown.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -104,6 +149,7 @@ func New(cfg Config) *Server {
 		logger:     cfg.Logger,
 		jobs:       map[string]*Job{},
 		inflight:   map[Key]*Job{},
+		timers:     map[string]*time.Timer{},
 		queue:      make(chan *Job, cfg.QueueDepth),
 		baseCtx:    ctx,
 		cancelBase: cancel,
@@ -118,11 +164,174 @@ func New(cfg Config) *Server {
 		sim.SetMetrics(cfg.Metrics)
 		netgraph.SetMetrics(cfg.Metrics)
 	}
+	// Recovery runs before the workers start, so every re-admitted job is
+	// queued (and the sequence counter restored) before any new traffic.
+	if cfg.JournalPath != "" {
+		jnl, recs, err := journal.Open(cfg.JournalPath, journal.Options{Hook: cfg.JournalHook})
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("service: open job journal: %w", err)
+		}
+		s.journal = jnl
+		s.replay(recs)
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	if cfg.HeartbeatTimeout > 0 {
+		s.wg.Add(1)
+		go s.watchdog()
+	}
+	return s, nil
+}
+
+// jobSeq parses the numeric sequence out of a "j%06d-<key>" job ID.
+func jobSeq(id string) (uint64, bool) {
+	if !strings.HasPrefix(id, "j") {
+		return 0, false
+	}
+	dash := strings.IndexByte(id, '-')
+	if dash < 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[1:dash], 10, 64)
+	return n, err == nil
+}
+
+// replay folds the journal's surviving records and re-admits every job
+// that never reached a terminal state: same ID (clients polling across
+// the restart keep working), the accumulated checkpoint as the resume
+// point, and the attempt counter continuing where the dead process left
+// off. Undecodable records are skipped — one corrupt entry must not take
+// down recovery of the rest — and the ID sequence is restored past every
+// journaled job so new IDs can never collide with replayed ones.
+func (s *Server) replay(recs []journal.Record) {
+	type pending struct {
+		submit   journal.Record
+		attempts int
+		cp       *core.Checkpoint
+		terminal bool
+	}
+	byID := map[string]*pending{}
+	var order []string
+	for _, rec := range recs {
+		if n, ok := jobSeq(rec.JobID); ok && n > s.seq {
+			s.seq = n
+		}
+		p := byID[rec.JobID]
+		if p == nil {
+			if rec.Op != journal.OpSubmit {
+				continue // orphan record (e.g. duplicate done after a crash): nothing to resume
+			}
+			byID[rec.JobID] = &pending{submit: rec}
+			order = append(order, rec.JobID)
+			continue
+		}
+		switch rec.Op {
+		case journal.OpStart:
+			if rec.Attempt > p.attempts {
+				p.attempts = rec.Attempt
+			}
+		case journal.OpCheckpoint:
+			if p.cp == nil {
+				p.cp = core.NewCheckpoint()
+			}
+			p.cp.Add(rec.Phase, rec.Index, rec.Total, rec.Unit)
+		case journal.OpDone, journal.OpFail, journal.OpCancel:
+			p.terminal = true
+		}
+	}
+	for _, id := range order {
+		p := byID[id]
+		if p.terminal {
+			continue
+		}
+		spec := new(JobSpec)
+		if err := json.Unmarshal(p.submit.Spec, spec); err != nil {
+			s.logReplaySkip(id, err)
+			continue
+		}
+		if err := spec.Normalize(); err != nil {
+			s.logReplaySkip(id, err)
+			continue
+		}
+		j := newJob(id, Key(p.submit.Key), spec)
+		j.attempt = p.attempts
+		j.checkpoint = p.cp
+		select {
+		case s.queue <- j:
+		default:
+			s.logReplaySkip(id, ErrQueueFull)
+			continue
+		}
+		s.jobs[id] = j
+		s.inflight[j.Key] = j
+		s.metrics.observeReplayed()
+		s.logJob(j, "job re-admitted from journal",
+			slog.Int("attempts", p.attempts),
+			slog.Int("checkpointed_units", p.cp.Len()))
+	}
+}
+
+func (s *Server) logReplaySkip(id string, err error) {
+	if s.logger != nil {
+		s.logger.Warn("journal replay: skipping job", slog.String("job", id), slog.String("error", err.Error()))
+	}
+}
+
+// journalAppend persists one record when the journal is enabled. Append
+// errors degrade durability, never availability: they are counted and
+// logged, and the job proceeds.
+func (s *Server) journalAppend(rec journal.Record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		if errors.Is(err, journal.ErrClosed) {
+			return // shutdown race: the drain already closed the file
+		}
+		s.metrics.observeJournalError()
+		if s.logger != nil {
+			s.logger.Warn("journal append failed",
+				slog.String("op", string(rec.Op)),
+				slog.String("job", rec.JobID),
+				slog.String("error", err.Error()))
+		}
+	}
+}
+
+// watchdog periodically shoots down running attempts whose heartbeat
+// (progress or checkpoint activity) has gone stale: the attempt's context
+// is cancelled, the worker unwinds, and the attempt retries under the
+// normal budget.
+func (s *Server) watchdog() {
+	defer s.wg.Done()
+	interval := s.cfg.HeartbeatTimeout / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			jobs := make([]*Job, 0, len(s.jobs))
+			for _, j := range s.jobs {
+				jobs = append(jobs, j)
+			}
+			s.mu.Unlock()
+			for _, j := range jobs {
+				if j.markStale(s.cfg.HeartbeatTimeout) {
+					s.metrics.observeStale()
+					s.logJob(j, "job heartbeat stale, cancelling attempt")
+				}
+			}
+		}
+	}
 }
 
 // Submit admits one spec: it is normalized, keyed, deduped against
@@ -135,13 +344,14 @@ func (s *Server) Submit(spec *JobSpec) (job *Job, deduped bool, err error) {
 		return nil, false, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return nil, false, ErrDraining
 	}
 	// Singleflight: identical submissions while one is queued or running
 	// attach to that execution — N clients, one simulation.
 	if existing, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
 		s.metrics.observeDedup()
 		s.logJob(existing, "job deduped")
 		return existing, true, nil
@@ -151,9 +361,11 @@ func (s *Server) Submit(spec *JobSpec) (job *Job, deduped bool, err error) {
 	j := newJob(id, key, spec)
 	if data, ok := s.cache.Get(key); ok {
 		// Content-addressed hit: the job is born terminal with the cached
-		// bytes; no queue slot, no worker, no simulation.
+		// bytes; no queue slot, no worker, no simulation — and no journal
+		// record, since there is nothing to resume.
 		j.finish(StateDone, data, "", true)
 		s.jobs[id] = j
+		s.mu.Unlock()
 		s.metrics.observeFinished(spec.Kind, StateDone, 0)
 		s.logJob(j, "job served from cache", slog.Int("bytes", len(data)))
 		return j, false, nil
@@ -161,10 +373,20 @@ func (s *Server) Submit(spec *JobSpec) (job *Job, deduped bool, err error) {
 	select {
 	case s.queue <- j:
 	default:
+		s.mu.Unlock()
 		return nil, false, ErrQueueFull
 	}
 	s.jobs[id] = j
 	s.inflight[key] = j
+	s.mu.Unlock()
+	// The submit record carries the canonical spec, so a restarted daemon
+	// can rebuild and re-run the exact campaign. Appended outside the
+	// server lock: the fsync must not stall unrelated lookups.
+	if s.journal != nil {
+		if canonical, err := json.Marshal(spec); err == nil {
+			s.journalAppend(journal.Record{Op: journal.OpSubmit, JobID: id, Key: string(key), Spec: canonical})
+		}
+	}
 	s.logJob(j, "job queued")
 	return j, false, nil
 }
@@ -213,6 +435,7 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 	if j.requestCancel() {
 		// Canceled straight out of the queue: no worker will ever see
 		// this job, so account for its terminal transition here.
+		s.journalAppend(journal.Record{Op: journal.OpCancel, JobID: j.ID})
 		s.metrics.observeFinished(j.Spec.Kind, StateCanceled, 0)
 	}
 	s.logJob(j, "job cancel requested")
@@ -248,63 +471,228 @@ func (s *Server) worker() {
 }
 
 func (s *Server) execute(j *Job) {
-	defer s.forgetInflight(j)
-	ctx, ok := j.begin(s.baseCtx)
+	ctx, attempt, ok := j.begin(s.baseCtx)
 	if !ok {
+		s.forgetInflight(j)
 		return
+	}
+	cancelAttempt := func() {}
+	if s.cfg.JobDeadline > 0 {
+		ctx, cancelAttempt = context.WithTimeout(ctx, s.cfg.JobDeadline)
 	}
 	s.simulations.Add(1)
 	s.metrics.observeRun()
-	s.logJob(j, "job running")
-	defer func() {
-		// Observation happens after the terminal transition so the
-		// recorded duration spans worker pickup to terminal state.
-		s.metrics.observeFinished(j.Spec.Kind, j.State(), j.runtime().Seconds())
-		s.logJob(j, "job finished",
-			slog.String("state", string(j.State())),
-			slog.Duration("took", j.runtime()),
-			slog.String("error", j.ErrorText()))
-	}()
-	res, err := s.runner(ctx, j.Spec, j.setProgress)
-	if err != nil {
-		if errors.Is(err, context.Canceled) && (j.CancelRequested() || s.baseCtx.Err() != nil) {
-			j.finish(StateCanceled, nil, context.Canceled.Error(), false)
-		} else {
-			j.finish(StateFailed, nil, err.Error(), false)
+	s.journalAppend(journal.Record{Op: journal.OpStart, JobID: j.ID, Attempt: attempt})
+	s.logJob(j, "job running", slog.Int("attempt", attempt))
+
+	res, err := s.runAttempt(ctx, j)
+	cancelAttempt()
+	if err == nil {
+		data, merr := MarshalResult(res)
+		if merr != nil {
+			msg := fmt.Sprintf("serialize result: %v", merr)
+			s.journalAppend(journal.Record{Op: journal.OpFail, JobID: j.ID, Attempt: attempt, Err: msg})
+			j.finish(StateFailed, nil, msg, false)
+			s.settle(j)
+			return
 		}
+		s.cache.Put(j.Key, data)
+		s.journalAppend(journal.Record{Op: journal.OpDone, JobID: j.ID, Attempt: attempt})
+		j.finish(StateDone, data, "", false)
+		s.settle(j)
 		return
 	}
-	data, err := MarshalResult(res)
-	if err != nil {
-		j.finish(StateFailed, nil, fmt.Sprintf("serialize result: %v", err), false)
+
+	switch {
+	case errors.Is(err, context.Canceled) && (j.CancelRequested() || s.baseCtx.Err() != nil):
+		// A user cancel or the drain: terminal, never retried.
+		s.journalAppend(journal.Record{Op: journal.OpCancel, JobID: j.ID, Attempt: attempt})
+		j.finish(StateCanceled, nil, context.Canceled.Error(), false)
+		s.settle(j)
+		return
+	case j.staleAttempt():
+		err = fmt.Errorf("service: attempt %d heartbeat stale for %v: %w", attempt, s.cfg.HeartbeatTimeout, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		err = fmt.Errorf("service: attempt %d exceeded the %v job deadline: %w", attempt, s.cfg.JobDeadline, err)
+	}
+	if !retryable(err) || attempt > s.cfg.MaxRetries {
+		msg := err.Error()
+		if retryable(err) && s.cfg.MaxRetries > 0 {
+			msg = fmt.Sprintf("%s (retry budget of %d exhausted)", msg, s.cfg.MaxRetries)
+		}
+		s.journalAppend(journal.Record{Op: journal.OpFail, JobID: j.ID, Attempt: attempt, Err: msg})
+		j.finish(StateFailed, nil, msg, false)
+		s.settle(j)
 		return
 	}
-	s.cache.Put(j.Key, data)
-	j.finish(StateDone, data, "", false)
+	s.scheduleRetry(j, attempt, err)
+}
+
+// runAttempt executes one attempt with panic isolation: a panicking
+// campaign must not take down the worker goroutine (and with it the
+// daemon); the panic becomes a retryable attempt error instead.
+func (s *Server) runAttempt(ctx context.Context, j *Job) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: runner panicked: %v", r)
+		}
+	}()
+	rc := RunContext{
+		Progress: func(phase string, completed, total int) {
+			j.beat()
+			j.setProgress(phase, completed, total)
+		},
+		Checkpoint: func(phase string, index, total int, unit []byte) {
+			j.beat()
+			j.addUnit(phase, index, total, unit)
+			s.journalAppend(journal.Record{Op: journal.OpCheckpoint, JobID: j.ID, Phase: phase, Index: index, Total: total, Unit: unit})
+		},
+		Resume: j.resumePoint(),
+	}
+	return s.runner(ctx, j.Spec, rc)
+}
+
+// retryable classifies an attempt error: spec and config validation
+// failures can never succeed on a retry; everything else — deadline,
+// watchdog shot, panic, transient runner faults — is worth the budget.
+func retryable(err error) bool {
+	return !errors.Is(err, ErrBadSpec) && !errors.Is(err, core.ErrInvalidConfig)
+}
+
+// maxRetryBackoff caps the exponential retry backoff.
+const maxRetryBackoff = time.Minute
+
+// retryDelay computes the deterministic backoff before retry `attempt+1`:
+// base·2^(attempt−1), capped, then jittered into [d/2, d) by the named
+// stream "retry/<key>/<attempt>" — so a restarted daemon schedules the
+// identical delay and adding other RNG consumers never perturbs it.
+func retryDelay(key Key, attempt int, base time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	rng := sim.NewRNG(0, fmt.Sprintf("retry/%s/%d", key.Short(), attempt))
+	half := d / 2
+	return half + time.Duration(rng.Float64()*float64(d-half))
+}
+
+// scheduleRetry re-queues a job after a retryable attempt failure, holding
+// it out of the queue for the backoff.
+func (s *Server) scheduleRetry(j *Job, attempt int, cause error) {
+	if !j.requeue() {
+		// A cancel won the race and finished the job.
+		s.settle(j)
+		return
+	}
+	s.metrics.observeRetry()
+	s.journalAppend(journal.Record{Op: journal.OpRetry, JobID: j.ID, Attempt: attempt, Err: cause.Error()})
+	delay := retryDelay(j.Key, attempt, s.cfg.RetryBackoff)
+	s.logJob(j, "job retry scheduled",
+		slog.Int("attempt", attempt),
+		slog.Duration("backoff", delay),
+		slog.String("cause", cause.Error()))
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.cancelAbandoned(j)
+		return
+	}
+	s.timers[j.ID] = time.AfterFunc(delay, func() { s.enqueueRetry(j) })
+	s.mu.Unlock()
+}
+
+// enqueueRetry moves a backoff-expired job back onto the queue.
+func (s *Server) enqueueRetry(j *Job) {
+	s.mu.Lock()
+	delete(s.timers, j.ID)
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.cancelAbandoned(j)
+		return
+	}
+	if j.State() != StateQueued {
+		return // canceled while waiting out the backoff
+	}
+	select {
+	case s.queue <- j:
+		s.logJob(j, "job requeued for retry")
+	default:
+		msg := "service: queue full on retry"
+		s.journalAppend(journal.Record{Op: journal.OpFail, JobID: j.ID, Err: msg})
+		j.finish(StateFailed, nil, msg, false)
+		s.settle(j)
+	}
+}
+
+// cancelAbandoned finishes a job the drain left without a worker.
+func (s *Server) cancelAbandoned(j *Job) {
+	if j.requestCancel() {
+		s.journalAppend(journal.Record{Op: journal.OpCancel, JobID: j.ID})
+		s.metrics.observeFinished(j.Spec.Kind, StateCanceled, 0)
+	}
+	s.forgetInflight(j)
+}
+
+// settle does the one-time terminal bookkeeping for a worker-owned job:
+// dedup-index removal, metrics and logging. The recorded duration spans
+// the final attempt's worker pickup to its terminal state.
+func (s *Server) settle(j *Job) {
+	s.forgetInflight(j)
+	s.metrics.observeFinished(j.Spec.Kind, j.State(), j.runtime().Seconds())
+	s.logJob(j, "job finished",
+		slog.String("state", string(j.State())),
+		slog.Duration("took", j.runtime()),
+		slog.String("error", j.ErrorText()))
 }
 
 // Shutdown drains the server gracefully: new submissions are refused with
-// ErrDraining (503), every queued job is canceled, running campaigns have
-// their contexts cancelled so they unwind with context.Canceled, and the
-// workers are awaited up to ctx's deadline.
+// ErrDraining (503), every queued job (including jobs waiting out a retry
+// backoff) is canceled, running campaigns have their contexts cancelled so
+// they unwind with context.Canceled, and the workers are awaited up to
+// ctx's deadline. On a clean drain the journal is synced and closed.
+// Shutdown is idempotent: a second call re-waits for the workers and
+// returns cleanly.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
+	first := !s.draining
 	s.draining = true
+	// Steal the backoff timers under the lock so no new ones can be armed
+	// (scheduleRetry checks draining) and each waiting job is settled
+	// exactly once.
+	waiting := make([]*Job, 0, len(s.timers))
+	timers := make([]*time.Timer, 0, len(s.timers))
+	for id, t := range s.timers {
+		timers = append(timers, t)
+		if j, ok := s.jobs[id]; ok {
+			waiting = append(waiting, j)
+		}
+		delete(s.timers, id)
+	}
 	s.mu.Unlock()
-	if s.logger != nil {
+	if first && s.logger != nil {
 		s.logger.Info("draining", slog.Int("queued", len(s.queue)))
 	}
 	s.cancelBase()
+	for _, t := range timers {
+		t.Stop()
+	}
+	for _, j := range waiting {
+		s.cancelAbandoned(j)
+	}
 	// Drain whatever is still queued; workers racing this loop mark the
 	// same jobs canceled through the already-dead base context, so both
 	// paths converge on the canceled terminal state.
 	for {
 		select {
 		case j := <-s.queue:
-			if j.requestCancel() {
-				s.metrics.observeFinished(j.Spec.Kind, StateCanceled, 0)
-			}
-			s.forgetInflight(j)
+			s.cancelAbandoned(j)
 			continue
 		default:
 		}
@@ -317,7 +705,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		if s.logger != nil {
+		if s.journal != nil {
+			s.closeJournal.Do(func() {
+				if err := s.journal.Close(); err != nil && s.logger != nil {
+					s.logger.Warn("journal close failed", slog.String("error", err.Error()))
+				}
+			})
+		}
+		if first && s.logger != nil {
 			s.logger.Info("drained")
 		}
 		return nil

@@ -13,8 +13,6 @@ import (
 	"sync"
 	"testing"
 	"time"
-
-	"github.com/sinet-io/sinet/internal/core"
 )
 
 // coverageSpec builds a distinct valid spec per variant; variants only
@@ -32,7 +30,10 @@ type testEnv struct {
 
 func newTestEnv(t *testing.T, cfg Config) *testEnv {
 	t.Helper()
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -113,7 +114,7 @@ func newGatedRunner(result any) *gatedRunner {
 	return &gatedRunner{release: make(chan struct{}), result: result}
 }
 
-func (g *gatedRunner) run(ctx context.Context, _ *JobSpec, _ core.ProgressFunc) (any, error) {
+func (g *gatedRunner) run(ctx context.Context, _ *JobSpec, _ RunContext) (any, error) {
 	g.mu.Lock()
 	g.began++
 	g.mu.Unlock()
@@ -395,10 +396,10 @@ func TestBadSubmissionsAreRejected(t *testing.T) {
 // returns. It coordinates with the SSE test so no event can be dropped.
 func TestSSEStreamsProgressAndTerminalState(t *testing.T) {
 	proceed := make(chan struct{})
-	runner := func(ctx context.Context, _ *JobSpec, progress core.ProgressFunc) (any, error) {
+	runner := func(ctx context.Context, _ *JobSpec, rc RunContext) (any, error) {
 		<-proceed
 		for i := 1; i <= 3; i++ {
-			progress("contacts", i, 3)
+			rc.Progress("contacts", i, 3)
 		}
 		return "done-result", nil
 	}
@@ -603,7 +604,7 @@ func TestServeRealRoutingCampaign(t *testing.T) {
 	if err := spec.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	direct, err := Run(context.Background(), &spec, nil)
+	direct, err := Run(context.Background(), &spec, RunContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

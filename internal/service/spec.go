@@ -658,23 +658,28 @@ const deg2Rad = 3.14159265358979323846 / 180
 
 // Run executes the spec and returns its result struct — the value the
 // serving layer marshals with MarshalResult. The spec must be Normalize-d.
-// The progress callback (may be nil) observes the campaign's phases; a
-// cancelled context aborts the run with ctx.Err().
-func Run(ctx context.Context, spec *JobSpec, progress core.ProgressFunc) (any, error) {
+// The RunContext hooks (all optional) observe the campaign's phases and
+// thread checkpoint capture/resume through it; a cancelled context aborts
+// the run with ctx.Err().
+func Run(ctx context.Context, spec *JobSpec, rc RunContext) (any, error) {
 	switch spec.Kind {
 	case KindPassive:
 		cfg, err := spec.Passive.config()
 		if err != nil {
 			return nil, err
 		}
-		cfg.Progress = progress
+		cfg.Progress = rc.Progress
+		cfg.Checkpoint = rc.Checkpoint
+		cfg.Resume = rc.Resume
 		return core.RunPassiveCtx(ctx, cfg)
 	case KindActive:
 		cfg, err := spec.Active.config()
 		if err != nil {
 			return nil, err
 		}
-		cfg.Progress = progress
+		cfg.Progress = rc.Progress
+		cfg.Checkpoint = rc.Checkpoint
+		cfg.Resume = rc.Resume
 		return core.RunActiveCtx(ctx, cfg)
 	case KindCoverage:
 		c := spec.Coverage
@@ -682,15 +687,21 @@ func Run(ctx context.Context, spec *JobSpec, progress core.ProgressFunc) (any, e
 		if err != nil {
 			return nil, err
 		}
-		return core.RevisitAnalysisCtx(ctx, cons, c.LatitudesDeg, c.Start, c.Days, progress)
+		return core.RevisitAnalysisOpts(ctx, cons, c.LatitudesDeg, c.Start, c.Days, core.CoverageOptions{
+			Progress:   rc.Progress,
+			Checkpoint: rc.Checkpoint,
+			Resume:     rc.Resume,
+		})
 	case KindBackhaul:
-		return runBackhaul(ctx, spec.Backhaul, progress)
+		return runBackhaul(ctx, spec.Backhaul, rc)
 	case KindRouting:
 		cfg, err := spec.Routing.config()
 		if err != nil {
 			return nil, err
 		}
-		cfg.Progress = progress
+		cfg.Progress = rc.Progress
+		cfg.Checkpoint = rc.Checkpoint
+		cfg.Resume = rc.Resume
 		return core.RunRoutingCtx(ctx, cfg)
 	}
 	return nil, specErr("unknown kind %q (%s)", spec.Kind, strings.Join(supportedKinds, ", "))
@@ -698,8 +709,10 @@ func Run(ctx context.Context, spec *JobSpec, progress core.ProgressFunc) (any, e
 
 // runBackhaul sweeps the operator ground segment for each satellite's
 // downlink opportunities: the serving-layer view of the store-and-forward
-// drain capacity PR 1 fans out inside the active campaign.
-func runBackhaul(ctx context.Context, b *BackhaulSpec, progress core.ProgressFunc) (*BackhaulResult, error) {
+// drain capacity PR 1 fans out inside the active campaign. The per-sat
+// results checkpoint under the "satellites" phase; the shared ephemeris
+// grid always rebuilds (its samples are inputs, not outputs).
+func runBackhaul(ctx context.Context, b *BackhaulSpec, rc RunContext) (*BackhaulResult, error) {
 	cons, err := constellationByName(b.Constellation, b.Start)
 	if err != nil {
 		return nil, err
@@ -713,19 +726,25 @@ func runBackhaul(ctx context.Context, b *BackhaulSpec, progress core.ProgressFun
 
 	res := &BackhaulResult{Constellation: cons.Name, Start: b.Start, Days: b.Days}
 	res.Satellites = make([]SatBackhaul, len(props))
-	onDone := func(completed, total int) {
-		if progress != nil {
-			progress("satellites", completed, total)
-		}
-	}
 	// One shared struct-of-arrays grid: workers fill their own rows (no
-	// races) and the 12-station window sweep reads the shared samples.
+	// races) and the 12-station window sweep reads the shared samples. The
+	// propagation runs as its own phase so a resumed campaign still has
+	// every row a restored satellite's neighbors would have filled.
 	grid := orbit.NewEphemerisGrid(props, b.Start, end, orbit.EphemerisConfig{ScanStep: time.Duration(b.Step)})
-	if err := sim.ForEachPhase("satellites", len(props), func(i int) error {
+	if err := sim.ForEachPhase("ephemeris", len(props), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		grid.Propagate(i)
+		return nil
+	}, rc.Progress.Phase("ephemeris")); err != nil {
+		return nil, err
+	}
+	grid.Finish()
+	if err := core.ForEachCheckpointed("satellites", res.Satellites, rc.Resume, rc.Checkpoint, rc.Progress, func(i int) (SatBackhaul, error) {
+		if err := ctx.Err(); err != nil {
+			return SatBackhaul{}, err
+		}
 		windows := segment.DownlinkWindows(grid.Sat(i), b.Start, end, time.Duration(b.Step))
 		drains := backhaul.ScheduleDrains(windows, time.Duration(b.MinDrainGap))
 		sat := SatBackhaul{
@@ -740,12 +759,10 @@ func runBackhaul(ctx context.Context, b *BackhaulSpec, progress core.ProgressFun
 		if len(drains) > 1 {
 			sat.MeanDrainGap = drains[len(drains)-1].Sub(drains[0]) / time.Duration(len(drains)-1)
 		}
-		res.Satellites[i] = sat
-		return nil
-	}, onDone); err != nil {
+		return sat, nil
+	}); err != nil {
 		return nil, err
 	}
-	grid.Finish()
 	sort.Slice(res.Satellites, func(i, j int) bool { return res.Satellites[i].NoradID < res.Satellites[j].NoradID })
 	return res, nil
 }
