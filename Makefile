@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build test race bench bench-smoke fuzz-smoke serve-smoke crash-smoke staticcheck govulncheck ci
+.PHONY: all build test race bench bench-smoke fuzz-smoke serve-smoke crash-smoke cluster-smoke staticcheck govulncheck ci
 
 all: build
 
@@ -50,6 +50,13 @@ serve-smoke:
 crash-smoke:
 	$(GO) test ./cmd/sinetd/ -run TestCrashKillResumeServesByteIdenticalResult -count=1 -v
 
+# cluster-smoke is the fleet drill: a real coordinator fronting two real
+# sinetd workers, a campaign sharded across both, one worker SIGKILLed
+# mid-shard, and the finished job required to serve bytes identical to a
+# direct library run (see cmd/sinetd/cluster_test.go).
+cluster-smoke:
+	$(GO) test ./cmd/sinetd/ -run TestClusterKillWorkerServesByteIdenticalResult -count=1 -v
+
 # staticcheck / govulncheck run only when installed, so `make ci` stays usable
 # in hermetic environments; the GitHub workflow installs both.
 staticcheck:
@@ -71,3 +78,4 @@ ci:
 	$(MAKE) bench-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) crash-smoke
+	$(MAKE) cluster-smoke

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/service"
+)
+
+// clusterSpec is the campaign the cluster smoke serves: eight sites
+// drive eight "contacts" units, so at -shard-threshold 2 the coordinator
+// splits it across both workers, and each unit is a few hundred
+// milliseconds of work — a wide enough window to SIGKILL a worker with
+// its shard provably mid-flight.
+const clusterSpec = `{
+  "kind": "passive",
+  "passive": {"seed": 7, "days": 30, "sites": ["HK", "SYD", "LDN", "PGH", "SH", "GZ", "NC", "YC"], "constellations": ["Tianqi"]}
+}`
+
+// TestClusterKillWorkerServesByteIdenticalResult is the end-to-end
+// cluster drill: start two real sinetd workers and a real coordinator,
+// submit a campaign big enough to shard across both, SIGKILL a worker
+// while it is computing its shard, and require the finished job — its
+// shard failed over to the survivor — to serve bytes identical to an
+// uninterrupted direct library run.
+func TestClusterKillWorkerServesByteIdenticalResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemons and runs a one-month campaign")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("relies on SIGKILL")
+	}
+
+	var workers []*exec.Cmd
+	var workerAddrs []string
+	for i := 0; i < 2; i++ {
+		cmd, addr := startProc(t, "-addr 127.0.0.1:0 -workers 1 -cache-bytes 0")
+		workers = append(workers, cmd)
+		workerAddrs = append(workerAddrs, addr)
+		defer func() {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}()
+	}
+	peers := "http://" + workerAddrs[0] + ",http://" + workerAddrs[1]
+	coord, coordAddr := startProc(t,
+		"-addr 127.0.0.1:0 -coordinator -peers "+peers+" -shard-threshold 2 -cache-bytes 0")
+	defer func() {
+		_ = coord.Process.Kill()
+		_ = coord.Wait()
+	}()
+	base := "http://" + coordAddr
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(clusterSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := decodeInto(resp, http.StatusAccepted, &submitted); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a worker with a shard actually running, then kill it cold.
+	victim := -1
+	deadline := time.Now().Add(time.Minute)
+	for victim < 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no worker ever reported a running shard")
+		}
+		for i, addr := range workerAddrs {
+			r, err := http.Get("http://" + addr + "/v1/stats")
+			if err != nil {
+				continue
+			}
+			var stats struct {
+				JobsByState map[string]int `json:"jobs_by_state"`
+			}
+			if decodeInto(r, http.StatusOK, &stats) == nil && stats.JobsByState["running"] > 0 {
+				victim = i
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := workers[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = workers[victim].Wait()
+
+	// The campaign must still finish: the dead worker's shard fails over
+	// to the survivor through the ring.
+	deadline = time.Now().Add(3 * time.Minute)
+	for {
+		r, err := http.Get(base + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := decodeInto(r, http.StatusOK, &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.State == "done" {
+			break
+		}
+		if view.State == "failed" || view.State == "canceled" {
+			t.Fatalf("sharded job ended %s after worker kill: %s", view.State, view.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sharded job still %s 3m after worker kill", view.State)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	r, err := http.Get(base + "/v1/jobs/" + submitted.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := readAll(r, http.StatusOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Golden: the same campaign straight through the library — no
+	// daemons, no shards, no kill.
+	var spec service.JobSpec
+	if err := json.Unmarshal([]byte(clusterSpec), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := service.Run(context.Background(), &spec, service.RunContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := service.MarshalResult(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, golden) {
+		t.Fatalf("cluster result (%d bytes) differs from direct run (%d bytes)", len(served), len(golden))
+	}
+
+	// The scatter and the failover are visible on the coordinator's
+	// cluster metrics.
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := readAll(mr, http.StatusOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(metrics, []byte("sinet_cluster_shard_jobs_total 1")) {
+		t.Fatal("metrics missing sinet_cluster_shard_jobs_total 1 after the sharded campaign")
+	}
+	if bytes.Contains(metrics, []byte("sinet_cluster_failovers_total 0")) {
+		t.Fatal("metrics still report zero failovers after the worker kill")
+	}
+}

@@ -35,14 +35,22 @@ func TestMain(m *testing.M) {
 
 // startDaemon re-execs the test binary as a sinetd child on a random port
 // with the given journal directory, and parses the listen address out of
-// its startup log line. The child's stderr keeps draining for its whole
-// life so the daemon never blocks on a full pipe.
+// its startup log line.
 func startDaemon(t *testing.T, journalDir string) (*exec.Cmd, string) {
+	t.Helper()
+	return startProc(t, "-addr 127.0.0.1:0 -workers 1 -cache-bytes 0 -journal-dir "+journalDir)
+}
+
+// startProc re-execs the test binary as a sinetd child with the given
+// argument string and parses the listen address out of its startup log
+// line. The child's stderr keeps draining for its whole life so the
+// daemon never blocks on a full pipe.
+func startProc(t *testing.T, args string) (*exec.Cmd, string) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(),
 		"SINETD_E2E_CHILD=1",
-		"SINETD_E2E_ARGS=-addr 127.0.0.1:0 -workers 1 -cache-bytes 0 -journal-dir "+journalDir,
+		"SINETD_E2E_ARGS="+args,
 	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {

@@ -1,19 +1,27 @@
 // Command sinetd serves measurement campaigns over HTTP: submit passive,
 // active, coverage or backhaul campaign specs as JSON jobs, follow their
-// progress over SSE, and fetch content-addressed, cached results.
+// progress over SSE, and fetch content-addressed, cached results. With
+// -coordinator it fronts a fleet of sinetd workers instead: jobs hash
+// onto the worker ring, oversized campaigns shard across the fleet, and
+// the fleet's telemetry aggregates into one scrape.
 //
 // Usage:
 //
 //	sinetd [-addr :8470] [-workers N] [-queue 64] [-cache-bytes 268435456]
-//	       [-log-format text|json] [-pprof]
+//	       [-log-format text|json] [-pprof] [-retry-after 1s]
 //	       [-journal-dir DIR] [-job-deadline 0] [-max-retries 0] [-heartbeat-timeout 0]
+//	       [-peers URL,URL,... -advertise URL]   # worker: peer-filled cache
+//	sinetd -coordinator -peers URL,URL,...       # cluster front door
+//	       [-shard-threshold 16] [-max-shards 0]
 //	sinetd -smoke   # self-check: serve on a random port, submit a small
 //	                # job over HTTP, diff against the direct library call
 //
-// The API (see DESIGN.md "Serving architecture" and "Observability"):
+// The API (see DESIGN.md "Serving architecture", "Observability" and
+// "Cluster architecture"):
 //
 //	POST   /v1/jobs             GET /v1/jobs/{id}         GET /v1/jobs/{id}/result
-//	DELETE /v1/jobs/{id}        GET /v1/jobs/{id}/events  GET /v1/stats  GET /healthz
+//	DELETE /v1/jobs/{id}        GET /v1/jobs/{id}/events  GET /v1/stats
+//	GET    /v1/cache            GET /healthz              GET /readyz
 //	GET    /metrics             GET /debug/pprof/* (with -pprof)
 //
 // Logs are structured (log/slog) on stderr; -log-format json emits one
@@ -34,9 +42,12 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"github.com/sinet-io/sinet/internal/cluster"
 	"github.com/sinet-io/sinet/internal/obs"
 	"github.com/sinet-io/sinet/internal/service"
 )
@@ -61,6 +72,26 @@ func newLogger(format string, w io.Writer) (*slog.Logger, error) {
 	return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
 }
 
+// parsePeers splits a comma-separated worker list and insists every
+// entry is a usable base URL.
+func parsePeers(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(p), "/"))
+		if p == "" {
+			continue
+		}
+		if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+			return nil, fmt.Errorf("-peers entry %q is not an http(s) base URL", p)
+		}
+		peers = append(peers, p)
+	}
+	return peers, nil
+}
+
 // run parses arguments and serves (or self-checks) until shutdown. It is
 // the single exit path: every failure returns an error instead of exiting
 // mid-flight.
@@ -78,6 +109,12 @@ func run(args []string, stdout io.Writer) error {
 	jobDeadline := fs.Duration("job-deadline", 0, "per-attempt wall-clock deadline (0 disables)")
 	maxRetries := fs.Int("max-retries", 0, "retry budget for retryable job failures")
 	heartbeat := fs.Duration("heartbeat-timeout", 0, "cancel and retry attempts silent for this long (0 disables)")
+	retryAfter := fs.Duration("retry-after", 0, "Retry-After hint on 429/503 responses (0 = 1s)")
+	coordinator := fs.Bool("coordinator", false, "run as cluster coordinator fronting the -peers workers")
+	peersFlag := fs.String("peers", "", "comma-separated worker base URLs: the fleet (coordinator) or the cache ring (worker)")
+	advertise := fs.String("advertise", "", "this worker's own base URL as it appears in -peers (worker mode)")
+	shardThreshold := fs.Int("shard-threshold", 16, "campaign unit count above which the coordinator shards jobs across workers (-1 disables)")
+	maxShards := fs.Int("max-shards", 0, "cap on one campaign's shard fan-out (0 = number of peers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +139,22 @@ func run(args []string, stdout io.Writer) error {
 	if *heartbeat < 0 {
 		return fmt.Errorf("-heartbeat-timeout must be non-negative, got %v", *heartbeat)
 	}
+	if *retryAfter < 0 {
+		return fmt.Errorf("-retry-after must be non-negative, got %v", *retryAfter)
+	}
+	if *maxShards < 0 {
+		return fmt.Errorf("-max-shards must be non-negative, got %d", *maxShards)
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	if *coordinator && len(peers) == 0 {
+		return errors.New("-coordinator requires a -peers worker list")
+	}
+	if *advertise != "" && len(peers) == 0 {
+		return errors.New("-advertise only makes sense with -peers")
+	}
 	logger, err := newLogger(*logFormat, os.Stderr)
 	if err != nil {
 		return err
@@ -119,6 +172,10 @@ func run(args []string, stdout io.Writer) error {
 		JobDeadline:      *jobDeadline,
 		MaxRetries:       *maxRetries,
 		HeartbeatTimeout: *heartbeat,
+		RetryAfter:       *retryAfter,
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if *journalDir != "" {
 		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
@@ -126,44 +183,92 @@ func run(args []string, stdout io.Writer) error {
 		}
 		cfg.JournalPath = filepath.Join(*journalDir, "jobs.journal")
 	}
-	return serve(*addr, cfg, *drainTimeout, *pprofOn, logger)
+
+	if *coordinator {
+		ccfg := cluster.Config{
+			Peers:          peers,
+			ShardThreshold: *shardThreshold,
+			MaxShards:      *maxShards,
+			Metrics:        cfg.Metrics,
+			Logger:         logger,
+			Local:          cfg,
+		}
+		build := func() (http.Handler, func(context.Context) error, []any, error) {
+			coord, err := cluster.New(ccfg)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			fields := []any{
+				"mode", "coordinator",
+				"peers", len(peers),
+				"shard_threshold", *shardThreshold,
+				"workers", cfg.Workers,
+				"queue", cfg.QueueDepth,
+			}
+			return coord.Handler(), coord.Shutdown, fields, nil
+		}
+		return serve(*addr, build, *drainTimeout, *pprofOn, logger)
+	}
+
+	// Worker mode: with a peer ring and a self identity, cache misses
+	// consult the key's ring owner before computing.
+	if len(peers) > 0 && *advertise != "" {
+		self := strings.TrimSuffix(*advertise, "/")
+		cfg.CacheFill = cluster.PeerCacheFill(cluster.NewRing(peers, 0), self, nil)
+	}
+	build := func() (http.Handler, func(context.Context) error, []any, error) {
+		svc, err := service.New(cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fields := []any{
+			"gomaxprocs", runtime.GOMAXPROCS(0),
+			"workers", cfg.Workers,
+			"queue", cfg.QueueDepth,
+			"cache_bytes", cfg.CacheBytes,
+			"peers", len(peers),
+		}
+		return svc.Handler(), svc.Shutdown, fields, nil
+	}
+	return serve(*addr, build, *drainTimeout, *pprofOn, logger)
 }
 
-// serve runs the daemon until SIGINT/SIGTERM, then drains gracefully:
-// refuse new work, cancel queued and running jobs, stop the listener.
-func serve(addr string, cfg service.Config, drainTimeout time.Duration, pprofOn bool, logger *slog.Logger) error {
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	svc, err := service.New(cfg)
-	if err != nil {
-		return err
-	}
+// bootHandler answers while the real handler is still under
+// construction — notably during journal replay, which happens inside
+// service.New and can take a while on a big journal. The process is
+// alive (/healthz 200) but not ready: /readyz and every API route answer
+// 503 with a Retry-After hint, so load balancers hold traffic without
+// declaring the process dead.
+func bootHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/", svc.Handler())
-	if pprofOn {
-		// Profiling is opt-in: the endpoints expose heap contents and
-		// stack traces, so they stay off unless explicitly requested.
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	httpSrv := &http.Server{Addr: addr, Handler: mux}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "starting: journal replay in progress", http.StatusServiceUnavailable)
+	})
+	return mux
+}
 
+// serve binds the listener first, answers with bootHandler while build
+// constructs the real handler (journal replay, probe startup), then
+// swaps it in and announces readiness. It runs until SIGINT/SIGTERM and
+// drains gracefully: refuse new work, cancel queued and running jobs,
+// stop the listener. build returns the handler, its drain function and
+// extra fields for the startup log line.
+func serve(addr string, build func() (http.Handler, func(context.Context) error, []any, error), drainTimeout time.Duration, pprofOn bool, logger *slog.Logger) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	logger.Info("sinetd listening",
-		"addr", ln.Addr().String(),
-		"version", obs.Version(),
-		"gomaxprocs", runtime.GOMAXPROCS(0),
-		"workers", cfg.Workers,
-		"queue", cfg.QueueDepth,
-		"cache_bytes", cfg.CacheBytes,
-		"pprof", pprofOn)
+	var current atomic.Pointer[http.Handler]
+	boot := bootHandler()
+	current.Store(&boot)
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*current.Load()).ServeHTTP(w, r)
+	})}
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -173,6 +278,31 @@ func serve(addr string, cfg service.Config, drainTimeout time.Duration, pprofOn 
 		}
 		errCh <- nil
 	}()
+
+	handler, shutdown, fields, err := build()
+	if err != nil {
+		_ = httpSrv.Close()
+		<-errCh
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	if pprofOn {
+		// Profiling is opt-in: the endpoints expose heap contents and
+		// stack traces, so they stay off unless explicitly requested.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	var real http.Handler = mux
+	current.Store(&real)
+	logger.Info("sinetd listening", append([]any{
+		"addr", ln.Addr().String(),
+		"version", obs.Version(),
+		"pprof", pprofOn,
+	}, fields...)...)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -187,7 +317,7 @@ func serve(addr string, cfg service.Config, drainTimeout time.Duration, pprofOn 
 	defer cancel()
 	// Order matters: drain the service first so in-flight HTTP polls see
 	// jobs reach their canceled terminal states, then close the listener.
-	if err := svc.Shutdown(ctx); err != nil {
+	if err := shutdown(ctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {

@@ -21,6 +21,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"negative job deadline", []string{"-job-deadline", "-1s"}, "-job-deadline must be non-negative"},
 		{"negative max retries", []string{"-max-retries", "-1"}, "-max-retries must be non-negative"},
 		{"negative heartbeat", []string{"-heartbeat-timeout", "-1s"}, "-heartbeat-timeout must be non-negative"},
+		{"negative retry-after", []string{"-retry-after", "-1s"}, "-retry-after must be non-negative"},
+		{"negative max-shards", []string{"-max-shards", "-1"}, "-max-shards must be non-negative"},
+		{"coordinator without peers", []string{"-coordinator"}, "-coordinator requires a -peers worker list"},
+		{"bad peer url", []string{"-peers", "ftp://w1"}, "not an http(s) base URL"},
+		{"advertise without peers", []string{"-advertise", "http://me:1"}, "-advertise only makes sense with -peers"},
 	}
 	for _, tc := range cases {
 		err := run(tc.args, io.Discard)

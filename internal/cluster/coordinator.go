@@ -1,0 +1,612 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/obs"
+	"github.com/sinet-io/sinet/internal/service"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Peers are the worker base URLs ("http://host:port") forming the
+	// ring. Required, at least one.
+	Peers []string
+	// VNodes is the virtual-node count per peer (default DefaultVNodes).
+	VNodes int
+	// LoadFactor bounds per-peer load skew for ring placement (consistent
+	// hashing with bounded loads); <= 1 disables the bound. Default 1.25.
+	LoadFactor float64
+	// ShardThreshold is the checkpointable-unit count above which a
+	// campaign splits into shards fanned across workers (default 16;
+	// < 0 disables splitting).
+	ShardThreshold int
+	// MaxShards caps the fan-out of one campaign (default: number of
+	// peers, at least 2).
+	MaxShards int
+	// ProbeInterval is the per-peer readiness probe cadence (default 1s).
+	ProbeInterval time.Duration
+	// Client issues every request to workers (default: a plain client;
+	// per-call deadlines come from contexts, so no global timeout).
+	Client *http.Client
+	// Metrics receives the cluster telemetry and the coordinator's own
+	// serving metrics, and enables the aggregated /metrics endpoint.
+	Metrics *obs.Registry
+	// Logger receives structured coordination logs. Nil logs nothing.
+	Logger *slog.Logger
+	// Local configures the coordinator's embedded service.Server, which
+	// owns sharded jobs (queue, SSE, journal, retry budget, cache) and
+	// serves everything itself when the whole fleet is unreachable. Its
+	// Runner and CacheFill are installed by New.
+	Local service.Config
+}
+
+// Coordinator fronts a fleet of sinetd workers: single campaigns are
+// proxied to their key's ring owner (failing over when the owner is
+// down), oversized campaigns are split into deterministic shards fanned
+// across the fleet and merged byte-identically, caches fill from ring
+// owners, and worker telemetry aggregates into one scrape. The
+// coordinator embeds a full service.Server for the jobs it owns, so
+// clients see one uniform jobs API wherever the work actually ran.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	local   *service.Server
+	localH  http.Handler
+	client  *http.Client
+	metrics *clusterMetrics
+	logger  *slog.Logger
+
+	mu    sync.Mutex
+	route map[string]string // proxied job ID -> owning peer
+	load  map[string]int    // peer -> in-flight coordinator-initiated work
+	up    map[string]bool   // peer -> last probe verdict
+
+	probeCtx    context.Context
+	probeCancel context.CancelFunc
+	probeWG     sync.WaitGroup
+
+	scrape scrapeCache
+}
+
+// New builds and starts a coordinator: its embedded server's workers and
+// its peer probes are running when New returns. Stop it with Shutdown.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: at least one peer is required")
+	}
+	if cfg.LoadFactor == 0 {
+		cfg.LoadFactor = 1.25
+	}
+	if cfg.ShardThreshold == 0 {
+		cfg.ShardThreshold = 16
+	}
+	if cfg.MaxShards <= 0 {
+		cfg.MaxShards = len(cfg.Peers)
+		if cfg.MaxShards < 2 {
+			cfg.MaxShards = 2
+		}
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		ring:   NewRing(cfg.Peers, cfg.VNodes),
+		client: cfg.Client,
+		logger: cfg.Logger,
+		route:  map[string]string{},
+		load:   map[string]int{},
+		up:     map[string]bool{},
+	}
+	c.metrics = newClusterMetrics(cfg.Metrics, cfg.Peers)
+	local := cfg.Local
+	local.Runner = c.clusterRunner
+	local.Metrics = cfg.Metrics
+	local.Logger = cfg.Logger
+	local.CacheFill = c.peerCacheFill
+	srv, err := service.New(local)
+	if err != nil {
+		return nil, err
+	}
+	c.local = srv
+	c.localH = srv.Handler()
+	c.probeCtx, c.probeCancel = context.WithCancel(context.Background())
+	for _, peer := range cfg.Peers {
+		c.probeWG.Add(1)
+		go c.probe(peer)
+	}
+	return c, nil
+}
+
+// Shutdown stops the probes and drains the embedded server.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.probeCancel()
+	c.probeWG.Wait()
+	return c.local.Shutdown(ctx)
+}
+
+// probe loops one peer's readiness checks. The cadence is the configured
+// interval plus a deterministic per-peer jitter (a named RNG stream, the
+// PR 8 backoff pattern) so a large fleet's probes spread out instead of
+// firing in lockstep.
+func (c *Coordinator) probe(peer string) {
+	defer c.probeWG.Done()
+	rng := newJitterRNG("cluster/probe/" + peer)
+	// The probe deadline floors at one second: a tight probe cadence
+	// must not misread a merely slow worker as down.
+	probeTimeout := c.cfg.ProbeInterval
+	if probeTimeout < time.Second {
+		probeTimeout = time.Second
+	}
+	for {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(c.probeCtx, probeTimeout)
+		up := false
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/readyz", nil)
+		if err == nil {
+			if resp, rerr := c.client.Do(req); rerr == nil {
+				_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+				up = resp.StatusCode == http.StatusOK
+			}
+		}
+		cancel()
+		latency := time.Since(start)
+		c.setUp(peer, up)
+		c.metrics.observePeer(peer, up, latency.Milliseconds())
+		delay := c.cfg.ProbeInterval + time.Duration(rng.Float64()*float64(c.cfg.ProbeInterval)/4)
+		select {
+		case <-c.probeCtx.Done():
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+func (c *Coordinator) setUp(peer string, up bool) {
+	c.mu.Lock()
+	was, known := c.up[peer]
+	c.up[peer] = up
+	c.mu.Unlock()
+	if c.logger != nil && (!known || was != up) {
+		c.logger.Info("peer readiness changed", slog.String("peer", peer), slog.Bool("up", up))
+	}
+}
+
+// peerUp reports the last probe verdict; an unprobed peer counts as up
+// so a freshly started coordinator doesn't refuse traffic for one probe
+// interval.
+func (c *Coordinator) peerUp(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	up, known := c.up[peer]
+	return !known || up
+}
+
+func (c *Coordinator) readyPeerCount() int {
+	n := 0
+	for _, p := range c.cfg.Peers {
+		if c.peerUp(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// loadOf reports a peer's in-flight coordinator-initiated work — the
+// bounded-load signal.
+func (c *Coordinator) loadOf(peer string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.load[peer]
+}
+
+func (c *Coordinator) addLoad(peer string, d int) {
+	c.mu.Lock()
+	c.load[peer] += d
+	c.mu.Unlock()
+}
+
+// candidates orders the key's failover sequence for dispatch: the
+// bounded-load placement first, then the rest of the ring sequence with
+// ready peers ahead of peers whose last probe failed. Down peers stay in
+// the list — probes can be stale, and a last-resort attempt against a
+// "down" peer beats refusing the job.
+func (c *Coordinator) candidates(key service.Key) []string {
+	seq := c.ring.Sequence(string(key))
+	first := c.ring.OwnerBounded(string(key), c.loadOf, c.cfg.LoadFactor)
+	ordered := make([]string, 0, len(seq))
+	ordered = append(ordered, first)
+	for pass := 0; pass < 2; pass++ {
+		for _, p := range seq {
+			if p == first {
+				continue
+			}
+			if (pass == 0) == c.peerUp(p) {
+				ordered = append(ordered, p)
+			}
+		}
+	}
+	return ordered
+}
+
+// --- embedded-runner path ----------------------------------------------
+
+// clusterRunner executes the jobs the coordinator owns: campaigns big
+// enough to shard fan out across the fleet and merge locally; everything
+// else (including every job when the fleet is unreachable) runs through
+// the plain library. Either way the bytes equal a direct run's.
+func (c *Coordinator) clusterRunner(ctx context.Context, spec *service.JobSpec, rc service.RunContext) (any, error) {
+	if spec.Shard == nil {
+		if n := service.ShardCount(spec, c.cfg.ShardThreshold, c.cfg.MaxShards); n >= 2 && c.readyPeerCount() > 0 {
+			return c.runSharded(ctx, spec, n, rc)
+		}
+	}
+	return service.Run(ctx, spec, rc)
+}
+
+// runSharded is the scatter-gather: split the campaign, run every shard
+// on its ring owner concurrently, fold the returned unit snapshots into
+// one resume point, and re-run the parent locally from it — every unit
+// restores, none recompute, and the merged bytes are pinned identical to
+// an unsharded run. A shard whose worker dies mid-flight fails over
+// through the ring inside runRemote, so killing a worker mid-campaign
+// delays the job rather than corrupting or losing it.
+func (c *Coordinator) runSharded(ctx context.Context, spec *service.JobSpec, n int, rc service.RunContext) (any, error) {
+	shards, err := service.SplitSpec(spec, n)
+	if err != nil {
+		return nil, err
+	}
+	c.metrics.observeShardJob(n)
+	if c.logger != nil {
+		c.logger.Info("campaign sharded", slog.String("kind", spec.Kind), slog.Int("shards", n))
+	}
+	var (
+		progressMu sync.Mutex
+		done       int
+	)
+	report := func() {
+		if rc.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		rc.Progress("fanout", done, n)
+		progressMu.Unlock()
+	}
+	blobs := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key, kerr := service.ConfigKey(shards[i])
+			if kerr != nil {
+				errs[i] = kerr
+				return
+			}
+			blobs[i], errs[i] = c.runRemote(ctx, shards[i], key)
+			if errs[i] == nil {
+				report()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("cluster: shard %d/%d: %w", i, n, e)
+		}
+	}
+	folded, err := service.FoldShards(blobs)
+	if err != nil {
+		return nil, err
+	}
+	return service.Run(ctx, spec, service.RunContext{
+		Progress:   rc.Progress,
+		Checkpoint: rc.Checkpoint,
+		Resume:     folded,
+	})
+}
+
+// peerCacheFill is the embedded server's CacheFill: on a local miss, ask
+// the key's ring owner whether it already holds the bytes. Lookup-only
+// (the owner's /v1/cache never computes), so fills can't cascade.
+func (c *Coordinator) peerCacheFill(ctx context.Context, key service.Key) ([]byte, bool) {
+	owner := c.ring.Owner(string(key))
+	if owner == "" || !c.peerUp(owner) {
+		return nil, false
+	}
+	data, ok := peerCacheLookup(ctx, c.client, owner, key)
+	if ok {
+		c.metrics.observePeerFill()
+	}
+	return data, ok
+}
+
+// peerCacheLookup fetches a key's cached bytes from one peer, if present.
+func peerCacheLookup(ctx context.Context, client *http.Client, peer string, key service.Key) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	u := peer + "/v1/cache?key=" + url.QueryEscape(string(key))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// PeerCacheFill builds a worker-side service.Config.CacheFill: on a
+// local miss the worker consults the key's owner on the given ring,
+// skipping itself (self is the advertised base URL as listed in peers).
+func PeerCacheFill(ring *Ring, self string, client *http.Client) func(context.Context, service.Key) ([]byte, bool) {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return func(ctx context.Context, key service.Key) ([]byte, bool) {
+		owner := ring.Owner(string(key))
+		if owner == "" || owner == self {
+			return nil, false
+		}
+		return peerCacheLookup(ctx, client, owner, key)
+	}
+}
+
+// --- HTTP layer ---------------------------------------------------------
+
+// Handler returns the coordinator's HTTP API — the same surface as a
+// worker's, plus cluster-wide stats and aggregated metrics:
+//
+//	POST   /v1/jobs              submit: sharded/fallback jobs run on the
+//	                             embedded server, the rest proxy to the
+//	                             key's ring owner with failover
+//	GET    /v1/jobs/{id}[...]    status/result/events proxied to the job's
+//	                             worker; coordinator-owned jobs serve local
+//	DELETE /v1/jobs/{id}         cancel, routed the same way
+//	GET    /v1/stats             cluster stats (peers, load, local server)
+//	GET    /v1/cache             embedded server's cache lookup
+//	GET    /healthz, /readyz     coordinator liveness/readiness
+//	GET    /metrics              own registry + summed worker counters
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.proxyJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", c.proxyJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.proxyJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.proxyJob)
+	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	mux.HandleFunc("GET /v1/cache", c.localH.ServeHTTP)
+	mux.HandleFunc("GET /healthz", c.localH.ServeHTTP)
+	mux.HandleFunc("GET /readyz", c.localH.ServeHTTP)
+	if c.cfg.Metrics != nil {
+		mux.HandleFunc("GET /metrics", c.handleMetrics)
+	}
+	return mux
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec service.JobSpec
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+		return
+	}
+	key, err := service.ConfigKey(&spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	canonical, err := json.Marshal(&spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Sharded campaigns are coordinator-owned (the embedded server's
+	// runner scatters and gathers); so is everything when no worker is
+	// ready — the coordinator then simply computes itself. Single
+	// campaigns with a live fleet proxy to their ring owner.
+	wantsShard := service.ShardCount(&spec, c.cfg.ShardThreshold, c.cfg.MaxShards) >= 2
+	if wantsShard || c.readyPeerCount() == 0 {
+		c.serveLocal(w, r, canonical)
+		return
+	}
+	c.proxySubmit(w, r, key, canonical)
+}
+
+// serveLocal replays the (canonicalized) submission into the embedded
+// server's own handler, so admission control, Retry-After hints and
+// response shapes stay identical to a worker's.
+func (c *Coordinator) serveLocal(w http.ResponseWriter, r *http.Request, canonical []byte) {
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(canonical))
+	r2.ContentLength = int64(len(canonical))
+	c.localH.ServeHTTP(w, r2)
+}
+
+// proxySubmit forwards a submission along the key's failover sequence.
+// Backpressure (429/503) from a worker is relayed as-is — including its
+// Retry-After hint, which tells the client when that worker will take
+// the job — rather than failed over, because a full owner queue is the
+// signal to wait, not to stampede the next peer.
+func (c *Coordinator) proxySubmit(w http.ResponseWriter, r *http.Request, key service.Key, canonical []byte) {
+	for i, peer := range c.candidates(key) {
+		ctx, cancel := context.WithTimeout(r.Context(), 15*time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/jobs", bytes.NewReader(canonical))
+		if err != nil {
+			cancel()
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(req)
+		if err != nil {
+			cancel()
+			if i > 0 {
+				c.metrics.observeFailover()
+			}
+			if c.logger != nil {
+				c.logger.Warn("submit proxy failed, trying next peer",
+					slog.String("peer", peer), slog.String("error", err.Error()))
+			}
+			continue
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		cancel()
+		if rerr != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			var accepted struct {
+				ID string `json:"id"`
+			}
+			if json.Unmarshal(body, &accepted) == nil && accepted.ID != "" {
+				c.mu.Lock()
+				c.route[accepted.ID] = peer
+				c.mu.Unlock()
+			}
+		}
+		relay(w, resp, body)
+		c.metrics.observeProxied(resp.StatusCode)
+		return
+	}
+	c.metrics.observeProxied(http.StatusBadGateway)
+	writeError(w, http.StatusBadGateway, errors.New("cluster: no worker reachable for submission"))
+}
+
+// proxyJob routes a status/result/events/cancel request: jobs the
+// coordinator proxied go to their recorded worker, everything else —
+// coordinator-owned jobs and unknown IDs — to the embedded server.
+func (c *Coordinator) proxyJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	peer, proxied := c.route[id]
+	c.mu.Unlock()
+	if !proxied {
+		c.localH.ServeHTTP(w, r)
+		return
+	}
+	u := peer + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.metrics.observeProxied(http.StatusBadGateway)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: worker %s unreachable: %w", peer, err))
+		return
+	}
+	defer resp.Body.Close()
+	c.metrics.observeProxied(resp.StatusCode)
+	copyHeader(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	streamBody(w, resp.Body)
+}
+
+// relay writes an already-read upstream response downstream, preserving
+// status, content type and pushback hints.
+func relay(w http.ResponseWriter, resp *http.Response, body []byte) {
+	copyHeader(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+func copyHeader(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"Content-Type", "Retry-After", "Cache-Control", "Connection"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+}
+
+// streamBody copies with per-chunk flushes so proxied SSE event streams
+// reach the client as they happen, not when the stream closes.
+func streamBody(w http.ResponseWriter, body io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// PeerStatus is one worker's view in cluster stats.
+type PeerStatus struct {
+	Peer string `json:"peer"`
+	Up   bool   `json:"up"`
+	Load int    `json:"load"`
+}
+
+// Stats is the coordinator's /v1/stats payload.
+type Stats struct {
+	Peers []PeerStatus  `json:"peers"`
+	Local service.Stats `json:"local"`
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := Stats{Local: c.local.Stats()}
+	for _, p := range c.cfg.Peers {
+		st.Peers = append(st.Peers, PeerStatus{Peer: p, Up: c.peerUp(p), Load: c.loadOf(p)})
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMetrics renders the coordinator's own registry followed by the
+// fleet aggregate (summed, renamed worker counters — see scrape.go).
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = c.cfg.Metrics.WritePrometheus(w)
+	_, _ = w.Write(c.aggregateMetrics())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

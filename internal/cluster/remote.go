@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/sinet-io/sinet/internal/service"
+	"github.com/sinet-io/sinet/internal/sim"
+)
+
+// errPermanent marks remote failures no other worker can fix — a bad
+// spec, or a campaign that genuinely failed after the worker's own retry
+// budget. runRemote stops failing over when it sees one.
+var errPermanent = errors.New("permanent remote failure")
+
+// backpressureError is a worker's 429/503 with its Retry-After hint: the
+// shard should wait that long and retry the same worker, not stampede
+// the next one.
+type backpressureError struct {
+	status     int
+	retryAfter time.Duration
+}
+
+func (e *backpressureError) Error() string {
+	return fmt.Sprintf("worker pushed back with %d (retry after %s)", e.status, e.retryAfter)
+}
+
+// newJitterRNG derives a deterministic jitter stream (the retryDelay
+// pattern from the service layer: master seed 0, purpose-named stream).
+func newJitterRNG(name string) *sim.RNG { return sim.NewRNG(0, name) }
+
+// remoteMaxRounds bounds how many full passes over the failover sequence
+// one shard makes before giving up; within a pass every peer is tried
+// once. Combined with the local server's job retry budget this tolerates
+// a worker dying mid-shard without ever wedging a campaign.
+const remoteMaxRounds = 3
+
+// remotePollInterval paces the status poll of an in-flight remote shard.
+const remotePollInterval = 50 * time.Millisecond
+
+// runRemote executes one (usually shard) spec on the fleet and returns
+// its result bytes. The key's ring sequence is the failover order: a
+// dead or erroring peer costs a jittered backoff and a hop to the next;
+// backpressure (429/503) waits out the worker's own Retry-After hint
+// before the next attempt. Only permanent failures — bad specs,
+// campaigns that failed on-worker — abort early.
+func (c *Coordinator) runRemote(ctx context.Context, spec *service.JobSpec, key service.Key) ([]byte, error) {
+	canonical, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	attempt := 0
+	var lastErr error
+	for round := 0; round < remoteMaxRounds; round++ {
+		for _, peer := range c.candidates(key) {
+			if attempt > 0 {
+				c.metrics.observeFailover()
+				if err := c.waitRetry(ctx, key, attempt, lastErr); err != nil {
+					return nil, err
+				}
+			}
+			attempt++
+			data, err := c.runOn(ctx, peer, canonical)
+			if err == nil {
+				return data, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if errors.Is(err, errPermanent) {
+				return nil, err
+			}
+			lastErr = err
+			if c.logger != nil {
+				c.logger.Warn("remote run failed, failing over",
+					slog.String("key", key.Short()),
+					slog.String("peer", peer),
+					slog.String("error", err.Error()))
+			}
+		}
+	}
+	return nil, fmt.Errorf("cluster: %s failed on every peer after %d attempts: %w", key.Short(), attempt, lastErr)
+}
+
+// waitRetry sleeps out the backoff before a failover attempt: a worker's
+// explicit Retry-After hint when the failure was backpressure, otherwise
+// a deterministically jittered beat from a key-and-attempt-named stream
+// (so concurrent shards of one campaign never thundering-herd one peer).
+func (c *Coordinator) waitRetry(ctx context.Context, key service.Key, attempt int, lastErr error) error {
+	delay := 100 * time.Millisecond
+	var bp *backpressureError
+	if errors.As(lastErr, &bp) && bp.retryAfter > 0 {
+		delay = bp.retryAfter
+	} else {
+		rng := newJitterRNG(fmt.Sprintf("cluster/retry/%s/%d", key.Short(), attempt))
+		delay += time.Duration(rng.Float64() * float64(delay))
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(delay):
+		return nil
+	}
+}
+
+// runOn submits the spec to one worker, polls it to a terminal state and
+// fetches the result bytes. Transport errors mid-poll mean the worker
+// died — the returned (retryable) error sends the caller to the next
+// ring peer, whose run of the same content-addressed spec yields the
+// same bytes. On context cancellation the remote job gets a best-effort
+// DELETE so the fleet stops computing for nobody.
+func (c *Coordinator) runOn(ctx context.Context, peer string, canonical []byte) ([]byte, error) {
+	c.addLoad(peer, 1)
+	defer c.addLoad(peer, -1)
+
+	id, err := c.submitOn(ctx, peer, canonical)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if ctx.Err() != nil {
+			c.cancelOn(peer, id)
+		}
+	}()
+
+	const maxPollFailures = 5
+	failures := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(remotePollInterval):
+		}
+		view, err := c.statusOn(ctx, peer, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if failures++; failures >= maxPollFailures {
+				return nil, fmt.Errorf("worker %s stopped answering for job %s: %w", peer, id, err)
+			}
+			continue
+		}
+		failures = 0
+		switch view.State {
+		case service.StateDone:
+			return c.resultOn(ctx, peer, id)
+		case service.StateFailed:
+			return nil, fmt.Errorf("%w: job %s failed on %s: %s", errPermanent, id, peer, view.Error)
+		case service.StateCanceled:
+			return nil, fmt.Errorf("%w: job %s canceled on %s", errPermanent, id, peer)
+		}
+	}
+}
+
+// submitOn posts the spec to one worker and returns the accepted job ID.
+func (c *Coordinator) submitOn(ctx context.Context, peer string, canonical []byte) (string, error) {
+	ctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/jobs", bytes.NewReader(canonical))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var accepted struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &accepted); err != nil || accepted.ID == "" {
+			return "", fmt.Errorf("worker %s returned an unreadable accept payload", peer)
+		}
+		return accepted.ID, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		after := time.Second
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
+		return "", &backpressureError{status: resp.StatusCode, retryAfter: after}
+	case http.StatusBadRequest:
+		return "", fmt.Errorf("%w: worker %s rejected the spec: %s", errPermanent, peer, body)
+	default:
+		return "", fmt.Errorf("worker %s answered submit with %d", peer, resp.StatusCode)
+	}
+}
+
+// statusOn fetches one remote job's view.
+func (c *Coordinator) statusOn(ctx context.Context, peer, id string) (*service.JobView, error) {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("worker %s answered status with %d", peer, resp.StatusCode)
+	}
+	var view service.JobView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&view); err != nil {
+		return nil, err
+	}
+	return &view, nil
+}
+
+// resultOn fetches a finished remote job's raw result bytes.
+func (c *Coordinator) resultOn(ctx context.Context, peer, id string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("worker %s answered result with %d", peer, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+}
+
+// cancelOn best-effort-cancels a remote job after the coordinator's own
+// context died; it runs on a fresh short-lived context by design.
+func (c *Coordinator) cancelOn(peer, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, peer+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := c.client.Do(req); err == nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}
+}

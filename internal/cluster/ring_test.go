@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://worker-%02d:8080", i)
+	}
+	return peers
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("a1b2c3d4%056d", i) // shaped like ConfigKey hex
+	}
+	return keys
+}
+
+// TestRingBalance pins key-distribution evenness for every fleet size the
+// design targets (3–16 workers): with DefaultVNodes virtual nodes, the
+// chi-square-style statistic sum((observed-mean)^2/mean) over 10k keys
+// must stay small, and no single worker may carry more than twice its
+// fair share.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(10000)
+	for workers := 3; workers <= 16; workers++ {
+		peers := testPeers(workers)
+		ring := NewRing(peers, 0)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[ring.Owner(k)]++
+		}
+		if len(counts) != workers {
+			t.Fatalf("%d workers: only %d received keys", workers, len(counts))
+		}
+		mean := float64(len(keys)) / float64(workers)
+		chi2 := 0.0
+		for _, p := range peers {
+			d := float64(counts[p]) - mean
+			chi2 += d * d / mean
+			if float64(counts[p]) > 2*mean {
+				t.Errorf("%d workers: %s owns %d keys, more than 2x the fair share %.0f", workers, p, counts[p], mean)
+			}
+		}
+		// For an even ring the statistic is chi-square distributed with
+		// workers-1 degrees of freedom, so values should sit near the
+		// worker count; nKeys/20 = 500 leaves room for hash variance
+		// while still failing badly skewed rings (a ring with one vnode
+		// per peer scores in the thousands).
+		if limit := float64(len(keys)) / 20; chi2 > limit {
+			t.Errorf("%d workers: chi2 statistic %.1f exceeds %.1f (distribution too skewed)", workers, chi2, limit)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoinLeave pins the consistent-hashing
+// property the peer caches rely on: adding or removing one of k workers
+// remaps only about 1/k of the key space.
+func TestRingMinimalMovementOnJoinLeave(t *testing.T) {
+	keys := testKeys(10000)
+	for workers := 3; workers <= 16; workers++ {
+		small := NewRing(testPeers(workers), 0)
+		big := NewRing(testPeers(workers+1), 0) // join of worker-<workers>
+		moved := 0
+		for _, k := range keys {
+			if small.Owner(k) != big.Owner(k) {
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		ideal := 1 / float64(workers+1)
+		if frac > 2*ideal+0.05 {
+			t.Errorf("join at %d workers moved %.3f of keys, ideal %.3f", workers, frac, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("join at %d workers moved no keys; new worker owns nothing", workers)
+		}
+		// Leave is the same comparison read in the other direction, and
+		// every moved key must land on the joining worker (nothing
+		// shuffles between survivors).
+		joined := big.Peers()[workers]
+		for _, k := range keys {
+			if a, b := small.Owner(k), big.Owner(k); a != b && b != joined {
+				t.Fatalf("key %s moved %s -> %s, not to the joining worker %s", k[:12], a, b, joined)
+			}
+		}
+	}
+}
+
+// TestRingSequence pins the failover order contract: owner first, every
+// peer exactly once, deterministic, order-insensitive to peer listing.
+func TestRingSequence(t *testing.T) {
+	peers := testPeers(5)
+	ring := NewRing(peers, 0)
+	for _, k := range testKeys(100) {
+		seq := ring.Sequence(k)
+		if len(seq) != len(peers) {
+			t.Fatalf("sequence has %d peers, want %d", len(seq), len(peers))
+		}
+		if seq[0] != ring.Owner(k) {
+			t.Fatalf("sequence starts at %s, owner is %s", seq[0], ring.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, p := range seq {
+			if seen[p] {
+				t.Fatalf("peer %s appears twice in sequence", p)
+			}
+			seen[p] = true
+		}
+	}
+	// Identical membership in a different listing order must agree.
+	reversed := make([]string, len(peers))
+	for i, p := range peers {
+		reversed[len(peers)-1-i] = p
+	}
+	other := NewRing(reversed, 0)
+	for _, k := range testKeys(100) {
+		if ring.Owner(k) != other.Owner(k) {
+			t.Fatalf("owner depends on peer listing order for key %s", k[:12])
+		}
+	}
+}
+
+// TestOwnerBounded pins the bounded-load policy: an overloaded owner is
+// skipped, an all-overloaded ring falls back to the true owner, and a
+// factor <= 1 disables the bound.
+func TestOwnerBounded(t *testing.T) {
+	peers := testPeers(4)
+	ring := NewRing(peers, 0)
+	key := testKeys(1)[0]
+	owner := ring.Owner(key)
+	next := ring.Sequence(key)[1]
+
+	uniform := func(string) int { return 1 }
+	if got := ring.OwnerBounded(key, uniform, 1.25); got != owner {
+		t.Fatalf("uniform load moved the key to %s, owner is %s", got, owner)
+	}
+	hot := func(p string) int {
+		if p == owner {
+			return 100
+		}
+		return 0
+	}
+	if got := ring.OwnerBounded(key, hot, 1.25); got != next {
+		t.Fatalf("overloaded owner: key went to %s, want next-in-sequence %s", got, next)
+	}
+	all := func(string) int { return 1000 }
+	if got := ring.OwnerBounded(key, all, 1.25); got != owner {
+		t.Fatalf("fully loaded ring must fall back to the owner, got %s", got)
+	}
+	if got := ring.OwnerBounded(key, hot, 1.0); got != owner {
+		t.Fatalf("factor 1.0 must disable the bound, got %s", got)
+	}
+	if got := ring.OwnerBounded(key, nil, 1.25); got != owner {
+		t.Fatalf("nil loadOf must disable the bound, got %s", got)
+	}
+}
+
+// TestRingEmpty pins the degenerate cases.
+func TestRingEmpty(t *testing.T) {
+	ring := NewRing(nil, 0)
+	if got := ring.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	if seq := ring.Sequence("k"); len(seq) != 0 {
+		t.Fatalf("empty ring sequence has %d peers", len(seq))
+	}
+	one := NewRing([]string{"http://only:1"}, 0)
+	if got := one.Owner("k"); got != "http://only:1" {
+		t.Fatalf("single-peer ring owner = %q", got)
+	}
+}

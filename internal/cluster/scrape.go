@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// scrapeTTL bounds how often the coordinator re-scrapes the fleet: an
+// aggregated /metrics render younger than this is served as-is, so a
+// scrape storm against the coordinator costs one fan-out, not many.
+// A variable so tests can shrink the window.
+var scrapeTTL = 2 * time.Second
+
+// aggSample is one summed series: a renamed metric plus its label pair.
+type aggSample struct {
+	name   string // renamed family, e.g. sinet_cluster_admission_total
+	labels string // "{code=\"202\"}" or ""
+	value  float64
+}
+
+// parseSamples folds one worker's text-format scrape into sums: counter
+// and gauge series are summed by (name, labels) across the fleet —
+// counters because cluster totals are what dashboards want, gauges
+// because the fleet's queue depth is the sum of the workers'. Histogram
+// and untyped families are skipped: their bucket series cannot be
+// re-rendered in bound order without reimplementing the client, and the
+// per-worker scrape remains available for them. Worker families are
+// renamed "sinet_X" → "sinet_cluster_X" so the coordinator's own serving
+// metrics (it runs a service.Server too) can never collide with the
+// fleet aggregate.
+func parseSamples(r io.Reader, types map[string]string, sums map[string]*aggSample) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		series, valText := line[:sp], line[sp+1:]
+		value, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			continue
+		}
+		name, labels := series, ""
+		if b := strings.IndexByte(series, '{'); b >= 0 {
+			name, labels = series[:b], series[b:]
+		}
+		switch types[name] {
+		case "counter", "gauge":
+		default:
+			continue // histogram pieces, gauge funcs of unknown shape, untyped
+		}
+		renamed := "sinet_cluster_" + strings.TrimPrefix(name, "sinet_")
+		key := renamed + labels
+		if s, ok := sums[key]; ok {
+			s.value += value
+		} else {
+			sums[key] = &aggSample{name: renamed, labels: labels, value: value}
+		}
+	}
+	return sc.Err()
+}
+
+// renderAgg writes the summed series in text exposition format, families
+// sorted by name and series by label, with the worker-declared TYPE
+// carried over.
+func renderAgg(w io.Writer, types map[string]string, sums map[string]*aggSample) {
+	keys := make([]string, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lastFamily := ""
+	for _, k := range keys {
+		s := sums[k]
+		if s.name != lastFamily {
+			orig := "sinet_" + strings.TrimPrefix(s.name, "sinet_cluster_")
+			fmt.Fprintf(w, "# HELP %s Cluster-wide sum of %s across workers.\n", s.name, orig)
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.name, types[orig])
+			lastFamily = s.name
+		}
+		fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, strconv.FormatFloat(s.value, 'g', -1, 64))
+	}
+}
+
+// scrapeCache memoizes the fleet aggregation for scrapeTTL.
+type scrapeCache struct {
+	mu       sync.Mutex
+	rendered []byte
+	at       time.Time
+}
+
+// aggregateMetrics scrapes every worker's /metrics concurrently and
+// renders the summed, renamed series. Down workers are skipped — their
+// absence shows on sinet_cluster_peer_up, and a partial sum beats no
+// scrape at all.
+func (c *Coordinator) aggregateMetrics() []byte {
+	c.scrape.mu.Lock()
+	defer c.scrape.mu.Unlock()
+	if c.scrape.rendered != nil && time.Since(c.scrape.at) < scrapeTTL {
+		return c.scrape.rendered
+	}
+	type result struct {
+		body []byte
+		ok   bool
+	}
+	results := make([]result, len(c.cfg.Peers))
+	var wg sync.WaitGroup
+	for i, peer := range c.cfg.Peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodGet, peer+"/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+			if err != nil {
+				return
+			}
+			results[i] = result{body: body, ok: true}
+		}(i, peer)
+	}
+	wg.Wait()
+	types := map[string]string{}
+	sums := map[string]*aggSample{}
+	for _, res := range results {
+		if res.ok {
+			_ = parseSamples(strings.NewReader(string(res.body)), types, sums)
+		}
+	}
+	var buf strings.Builder
+	renderAgg(&buf, types, sums)
+	c.scrape.rendered = []byte(buf.String())
+	c.scrape.at = time.Now()
+	return c.scrape.rendered
+}

@@ -98,6 +98,12 @@ type ActiveConfig struct {
 	// an uninterrupted one (see core.Checkpoint).
 	Checkpoint CheckpointFunc `json:"-"`
 	Resume     *Checkpoint    `json:"-"`
+	// Shard restricts the "plan" fan-out to a window of its per-satellite
+	// units and returns right after that phase — the serial "simulate"
+	// phase never runs; only the merge node, resuming from every shard's
+	// folded plan units, simulates (see core.ShardWindow). A shard
+	// parameterizes the run, so derived content keys must include it.
+	Shard *ShardWindow `json:"-"`
 }
 
 func (c *ActiveConfig) setDefaults() {
@@ -405,7 +411,7 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 	// fault schedules rebuild serially below — both are cheap and
 	// deterministic (named RNG streams), only the searches are expensive.
 	plans := make([]satPlan, len(props))
-	if err := forEachCheckpointed("plan", plans, cfg.Resume, cfg.Checkpoint, cfg.Progress, func(i int) (satPlan, error) {
+	if err := forEachCheckpointed("plan", plans, cfg.Shard, cfg.Resume, cfg.Checkpoint, cfg.Progress, func(i int) (satPlan, error) {
 		if err := ctx.Err(); err != nil {
 			return satPlan{}, err
 		}
@@ -445,6 +451,13 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 		return plan, nil
 	}); err != nil {
 		return nil, err
+	}
+	if cfg.Shard != nil {
+		// Shard run: the windowed plan units have been handed to
+		// cfg.Checkpoint; skip engine scheduling and the serial simulate
+		// phase — only the merge node, holding every shard's plans,
+		// simulates.
+		return r.res, nil
 	}
 	for i := range plans {
 		gw := satellite.NewGateway(grid.Sat(i), cons.BeaconInterval, cfg.SatBufferCapacity)

@@ -2,10 +2,49 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"sync"
 
 	"github.com/sinet-io/sinet/internal/sim"
 )
+
+// ShardWindow restricts a campaign's checkpointable phase to the
+// contiguous unit-index range [Lo, Hi). Units outside the window are
+// neither computed nor restored — their output slots stay zero — and the
+// campaign returns right after the sharded phase instead of assembling a
+// full result. A shard run therefore only produces unit snapshots (via
+// the config's CheckpointFunc); folding every shard's snapshots into one
+// Checkpoint and re-running the campaign with it as Resume reassembles
+// the exact bytes an unsharded run would have produced, because restored
+// units are byte-exact by the resume contract above. This is the
+// primitive the serving cluster's deterministic campaign splitting is
+// built on.
+//
+// Unlike Progress/Checkpoint/Resume, a ShardWindow DOES parameterize the
+// run (it bounds which units exist), so shard identity must be part of
+// any content key derived from a sharded config — the service layer
+// derives "parent/shard/i-of-n" keys for exactly this reason.
+type ShardWindow struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// validate checks the window against a phase of n units.
+func (w *ShardWindow) validate(n int) error {
+	if w == nil {
+		return nil
+	}
+	if w.Lo < 0 || w.Hi > n || w.Lo >= w.Hi {
+		return fmt.Errorf("%w: shard window [%d,%d) out of range for %d units", ErrInvalidConfig, w.Lo, w.Hi, n)
+	}
+	return nil
+}
+
+// contains reports whether unit index i falls inside the window; a nil
+// window contains every index.
+func (w *ShardWindow) contains(i int) bool {
+	return w == nil || (i >= w.Lo && i < w.Hi)
+}
 
 // CheckpointFunc receives one completed work unit's snapshot: the campaign
 // phase it belongs to, its index and the phase's unit count, and the
@@ -104,14 +143,24 @@ func (c *Checkpoint) snapshot(phase string, total int) *PhaseSnapshot {
 // present in resume are restored by JSON decode instead of recomputed;
 // newly computed units are serialized and handed to save. Progress spans
 // the whole phase (restored units count as already complete), preserving
-// the strictly-increasing contract.
-func forEachCheckpointed[T any](phase string, out []T, resume *Checkpoint, save CheckpointFunc, progress ProgressFunc, fn func(i int) (T, error)) error {
+// the strictly-increasing contract. A non-nil shard narrows the phase to
+// its window: only in-window units restore or compute (save still
+// reports the full phase size, so shard snapshots fold directly into a
+// full-phase resume point), and progress totals cover the window.
+func forEachCheckpointed[T any](phase string, out []T, shard *ShardWindow, resume *Checkpoint, save CheckpointFunc, progress ProgressFunc, fn func(i int) (T, error)) error {
 	n := len(out)
+	if err := shard.validate(n); err != nil {
+		return err
+	}
+	span := n
+	if shard != nil {
+		span = shard.Hi - shard.Lo
+	}
 	restored := make([]bool, n)
 	nRestored := 0
 	if ps := resume.snapshot(phase, n); ps != nil {
 		for idx, raw := range ps.Units {
-			if idx < 0 || idx >= n {
+			if idx < 0 || idx >= n || !shard.contains(idx) {
 				continue
 			}
 			var v T
@@ -123,18 +172,18 @@ func forEachCheckpointed[T any](phase string, out []T, resume *Checkpoint, save 
 			nRestored++
 		}
 	}
-	pending := make([]int, 0, n-nRestored)
+	pending := make([]int, 0, span-nRestored)
 	for i := 0; i < n; i++ {
-		if !restored[i] {
+		if !restored[i] && shard.contains(i) {
 			pending = append(pending, i)
 		}
 	}
 	if nRestored > 0 {
-		progress.report(phase, nRestored, n)
+		progress.report(phase, nRestored, span)
 	}
 	var onDone func(completed, total int)
 	if progress != nil {
-		onDone = func(completed, total int) { progress(phase, nRestored+completed, n) }
+		onDone = func(completed, total int) { progress(phase, nRestored+completed, span) }
 	}
 	var mu sync.Mutex
 	return sim.ForEachPhase(phase, len(pending), func(k int) error {
@@ -157,7 +206,7 @@ func forEachCheckpointed[T any](phase string, out []T, resume *Checkpoint, save 
 
 // ForEachCheckpointed is the exported fan-out for callers outside core
 // (the service's backhaul campaign) that thread checkpointing through
-// their own phases with the same restore/compute/save contract.
-func ForEachCheckpointed[T any](phase string, out []T, resume *Checkpoint, save CheckpointFunc, progress ProgressFunc, fn func(i int) (T, error)) error {
-	return forEachCheckpointed(phase, out, resume, save, progress, fn)
+// their own phases with the same restore/compute/save/shard contract.
+func ForEachCheckpointed[T any](phase string, out []T, shard *ShardWindow, resume *Checkpoint, save CheckpointFunc, progress ProgressFunc, fn func(i int) (T, error)) error {
+	return forEachCheckpointed(phase, out, shard, resume, save, progress, fn)
 }

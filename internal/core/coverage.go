@@ -54,6 +54,11 @@ type CoverageOptions struct {
 	Progress   ProgressFunc
 	Checkpoint CheckpointFunc
 	Resume     *Checkpoint
+	// Shard restricts the "latitudes" fan-out to a window of its units;
+	// out-of-window slots stay zero and the returned slice is a shard
+	// fragment (see core.ShardWindow). A shard parameterizes the run, so
+	// derived content keys must include it.
+	Shard *ShardWindow
 }
 
 // RevisitAnalysisOpts is RevisitAnalysisCtx with checkpoint/resume
@@ -84,7 +89,7 @@ func RevisitAnalysisOpts(ctx context.Context, cons constellation.Constellation, 
 	grid.Finish()
 
 	out := make([]RevisitStats, len(latitudesDeg))
-	if err := forEachCheckpointed("latitudes", out, opts.Resume, opts.Checkpoint, progress, func(li int) (RevisitStats, error) {
+	if err := forEachCheckpointed("latitudes", out, opts.Shard, opts.Resume, opts.Checkpoint, progress, func(li int) (RevisitStats, error) {
 		if err := ctx.Err(); err != nil {
 			return RevisitStats{}, err
 		}

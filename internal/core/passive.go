@@ -75,6 +75,13 @@ type PassiveConfig struct {
 	// uninterrupted one (see core.Checkpoint).
 	Checkpoint CheckpointFunc `json:"-"`
 	Resume     *Checkpoint    `json:"-"`
+	// Shard restricts the "contacts" fan-out to a window of its
+	// (site × constellation) units and returns right after that phase
+	// with only the windowed units filled — the result is a shard
+	// fragment, not a full campaign (see core.ShardWindow). Unlike the
+	// observe-only fields above, a shard DOES parameterize the run, so
+	// callers must fold shard identity into any derived content key.
+	Shard *ShardWindow `json:"-"`
 }
 
 func (c *PassiveConfig) setDefaults() {
@@ -296,11 +303,16 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 		}
 	}
 	units := make([]passiveUnit, len(pairs))
-	if err := forEachCheckpointed("contacts", units, cfg.Resume, cfg.Checkpoint, cfg.Progress, func(i int) (passiveUnit, error) {
+	if err := forEachCheckpointed("contacts", units, cfg.Shard, cfg.Resume, cfg.Checkpoint, cfg.Progress, func(i int) (passiveUnit, error) {
 		p := pairs[i]
 		return runPassiveSiteConstellation(ctx, cfg, p.s.site, p.s.stations, p.c, p.s.weather, p.s.start, end, p.s.outages)
 	}); err != nil {
 		return nil, err
+	}
+	if cfg.Shard != nil {
+		// Shard run: the windowed units have been handed to cfg.Checkpoint;
+		// skip assembly — the merge node restores every unit and assembles.
+		return res, nil
 	}
 	var nContacts, nRecords int
 	for i := range units {

@@ -71,6 +71,11 @@ type RoutingConfig struct {
 	// structures every packet unit reads.
 	Checkpoint CheckpointFunc `json:"-"`
 	Resume     *Checkpoint    `json:"-"`
+	// Shard restricts the "packets" fan-out to a window of its
+	// per-satellite units and returns right after that phase with the
+	// delivery summaries left empty (see core.ShardWindow). A shard
+	// parameterizes the run, so derived content keys must include it.
+	Shard *ShardWindow `json:"-"`
 }
 
 func (c *RoutingConfig) setDefaults() {
@@ -295,7 +300,7 @@ func RunRoutingCtx(ctx context.Context, cfg RoutingConfig) (*RoutingResult, erro
 	wantRelay := cfg.Policy == PolicyRelay || cfg.Policy == PolicyCompare
 	perSat := make([][]RoutedPacket, len(props))
 	nSats := len(props)
-	if err := forEachCheckpointed("packets", perSat, cfg.Resume, cfg.Checkpoint, progress, func(i int) ([]RoutedPacket, error) {
+	if err := forEachCheckpointed("packets", perSat, cfg.Shard, cfg.Resume, cfg.Checkpoint, progress, func(i int) ([]RoutedPacket, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -341,6 +346,11 @@ func RunRoutingCtx(ctx context.Context, cfg RoutingConfig) (*RoutingResult, erro
 		return pkts, nil
 	}); err != nil {
 		return nil, err
+	}
+	if cfg.Shard != nil {
+		// Shard run: the windowed packet units have been handed to
+		// cfg.Checkpoint; skip assembly and the delivery summaries.
+		return res, nil
 	}
 
 	for _, pkts := range perSat {

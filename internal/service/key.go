@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 )
 
 // keyVersion salts every ConfigKey so cache entries from incompatible
@@ -15,17 +16,32 @@ const keyVersion = "sinetd/v1"
 // (normalized) JobSpec, including the seed. Equal keys mean equal
 // simulations — equal results bytes — which is what makes in-flight
 // dedup and the result cache sound.
+//
+// A shard sub-spec (JobSpec.Shard set) keys as "parent/shard/i-of-n":
+// the parent hash is computed over the spec with the shard clause
+// removed, so every shard of a campaign shares the parent prefix while
+// remaining a distinct cache entry — a shard fragment must never alias
+// the full result, and the derivation makes the relationship auditable
+// in logs and journals.
 type Key string
+
+// shardSep separates a parent hash from its shard suffix inside a Key.
+const shardSep = "/shard/"
 
 // ConfigKey canonicalizes and hashes the spec. The spec is normalized in
 // place (defaults made explicit) so sparse and fully-written requests for
 // the same campaign collide, then hashed over its canonical JSON: struct
 // field order is fixed, so the encoding — and the key — is deterministic.
+// Shard sub-specs derive "parent/shard/i-of-n" keys from the unsharded
+// parent's hash.
 func ConfigKey(spec *JobSpec) (Key, error) {
 	if err := spec.Normalize(); err != nil {
 		return "", err
 	}
+	shard := spec.Shard
+	spec.Shard = nil
 	canonical, err := json.Marshal(spec)
+	spec.Shard = shard
 	if err != nil {
 		return "", fmt.Errorf("service: canonicalize spec: %w", err)
 	}
@@ -33,13 +49,36 @@ func ConfigKey(spec *JobSpec) (Key, error) {
 	h.Write([]byte(keyVersion))
 	h.Write([]byte{0})
 	h.Write(canonical)
-	return Key(hex.EncodeToString(h.Sum(nil))), nil
+	parent := hex.EncodeToString(h.Sum(nil))
+	if shard != nil {
+		return Key(fmt.Sprintf("%s%s%d-of-%d", parent, shardSep, shard.Index, shard.Count)), nil
+	}
+	return Key(parent), nil
 }
 
-// Short returns an abbreviated key for IDs and logs.
-func (k Key) Short() string {
-	if len(k) <= 12 {
-		return string(k)
+// Parent returns the unsharded campaign's key for a shard key, or the
+// key itself when it carries no shard suffix.
+func (k Key) Parent() Key {
+	if i := strings.Index(string(k), shardSep); i >= 0 {
+		return k[:i]
 	}
-	return string(k[:12])
+	return k
+}
+
+// Short returns an abbreviated key for IDs and logs. Job IDs embed it in
+// URL paths, so the form must stay path-safe: a shard key's "/shard/"
+// suffix abbreviates to "-s<i>x<n>" ("ab12cd34ef56-s2x8").
+func (k Key) Short() string {
+	s := string(k)
+	if i := strings.Index(s, shardSep); i >= 0 {
+		parent, suffix := s[:i], s[i+len(shardSep):]
+		if len(parent) > 12 {
+			parent = parent[:12]
+		}
+		return parent + "-s" + strings.ReplaceAll(suffix, "-of-", "x")
+	}
+	if len(s) <= 12 {
+		return s
+	}
+	return s[:12]
 }

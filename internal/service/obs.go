@@ -20,6 +20,7 @@ type serverMetrics struct {
 	retries     *obs.Counter      // retry attempts scheduled
 	journalErrs *obs.Counter      // failed journal appends
 	stale       *obs.Counter      // attempts shot down by the watchdog
+	peerFills   *obs.Counter      // jobs finished with peer-cache bytes
 }
 
 // newServerMetrics registers the serving metrics into r and samples the
@@ -42,6 +43,7 @@ func newServerMetrics(r *obs.Registry, s *Server) *serverMetrics {
 		retries:     r.Counter("sinet_job_retries_total", "Job retry attempts scheduled after retryable failures."),
 		journalErrs: r.Counter("sinet_journal_errors_total", "Journal appends that failed (durability degraded, job unaffected)."),
 		stale:       r.Counter("sinet_job_heartbeat_stale_total", "Running attempts cancelled by the heartbeat watchdog."),
+		peerFills:   r.Counter("sinet_peer_cache_fills_total", "Jobs finished with result bytes fetched from a peer's cache."),
 	}
 	for _, code := range []int{202, 400, 429, 500, 503} {
 		m.admission.With(strconv.Itoa(code))
@@ -127,6 +129,14 @@ func (m *serverMetrics) observeJournalError() {
 func (m *serverMetrics) observeStale() {
 	if m != nil {
 		m.stale.Inc()
+	}
+}
+
+// observePeerFill counts one job answered with peer-cache bytes instead
+// of a local simulation.
+func (m *serverMetrics) observePeerFill() {
+	if m != nil {
+		m.peerFills.Inc()
 	}
 }
 

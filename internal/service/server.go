@@ -95,6 +95,19 @@ type Config struct {
 	// reporting no progress or checkpoint for this long is shot down and
 	// retried. 0 disables the watchdog.
 	HeartbeatTimeout time.Duration
+	// RetryAfter is the pushback hint stamped on 429 (queue full) and 503
+	// (draining) responses as the Retry-After header, rounded up to whole
+	// seconds (default 1s). A cluster coordinator propagates the owning
+	// worker's value instead of inventing its own.
+	RetryAfter time.Duration
+	// CacheFill, when non-nil, is consulted on a local cache miss before a
+	// worker computes: it may return the result bytes for the key from
+	// elsewhere (the cluster wires it to the key's ring owner). A hit
+	// finishes the job with those bytes — content addressing makes them
+	// identical to what the local run would have produced. Lookup-only
+	// fills must never trigger remote computation, or two peers could
+	// ping-pong a key forever.
+	CacheFill func(ctx context.Context, key Key) ([]byte, bool)
 }
 
 // Server is the campaign-serving engine: registry, bounded queue, worker
@@ -480,6 +493,22 @@ func (s *Server) execute(j *Job) {
 	if s.cfg.JobDeadline > 0 {
 		ctx, cancelAttempt = context.WithTimeout(ctx, s.cfg.JobDeadline)
 	}
+	// Peer fill: before paying for a simulation, ask the configured
+	// remote cache (the key's ring owner in a cluster). A hit finishes
+	// the job with the peer's bytes — equal keys mean equal bytes, so
+	// this is indistinguishable from computing locally, minus the work.
+	if s.cfg.CacheFill != nil {
+		if data, ok := s.cfg.CacheFill(ctx, j.Key); ok {
+			cancelAttempt()
+			s.cache.Put(j.Key, data)
+			s.journalAppend(journal.Record{Op: journal.OpDone, JobID: j.ID, Attempt: attempt})
+			j.finish(StateDone, data, "", true)
+			s.metrics.observePeerFill()
+			s.logJob(j, "job filled from peer cache", slog.Int("bytes", len(data)))
+			s.settle(j)
+			return
+		}
+	}
 	s.simulations.Add(1)
 	s.metrics.observeRun()
 	s.journalAppend(journal.Record{Op: journal.OpStart, JobID: j.ID, Attempt: attempt})
@@ -772,7 +801,9 @@ func (s *Server) Stats() Stats {
 //	DELETE /v1/jobs/{id}        cancel                  → 202 JobView
 //	GET    /v1/jobs/{id}/events SSE progress stream     → text/event-stream
 //	GET    /v1/stats            serving health          → 200 Stats
+//	GET    /v1/cache            peer cache lookup       → 200 raw JSON | 404
 //	GET    /healthz             liveness                → 200 always
+//	GET    /readyz              readiness               → 200 | 503 draining
 //	GET    /metrics             Prometheus scrape       → (when Config.Metrics is set)
 //
 // With Config.Logger set, every request is logged with a process-unique
@@ -785,7 +816,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/cache", s.handleCacheLookup)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.cfg.Metrics != nil {
 		mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
 	}
@@ -823,7 +856,7 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		level := slog.LevelInfo
-		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" || r.URL.Path == "/metrics" {
 			level = slog.LevelDebug
 		}
 		s.logger.LogAttrs(r.Context(), level, "request",
@@ -866,11 +899,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrDraining):
 		s.metrics.observeAdmission(http.StatusServiceUnavailable)
+		w.Header().Set("Retry-After", s.retryAfterValue())
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrQueueFull):
 		s.metrics.observeAdmission(http.StatusTooManyRequests)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterValue())
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrBadSpec):
@@ -1010,4 +1044,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// handleReadyz is readiness: unlike liveness it goes 503 the moment the
+// drain begins, so coordinators and load balancers stop routing new work
+// to a worker that is shutting down while its in-flight jobs finish.
+// (A daemon still replaying its journal isn't serving this handler yet —
+// cmd/sinetd answers 503 from a boot handler during replay.)
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Retry-After", s.retryAfterValue())
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleCacheLookup answers peer cache probes: the raw cached result
+// bytes for a content key, or 404. Strictly lookup-only — a miss never
+// triggers computation, which is what keeps cluster peer fills
+// (Config.CacheFill → this endpoint on the ring owner) cycle-free. The
+// key travels as a query parameter because shard keys contain slashes.
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing key parameter"))
+		return
+	}
+	data, ok := s.cache.Get(Key(key))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("not cached"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// retryAfterValue renders Config.RetryAfter as a whole-seconds header
+// value, rounding up so the hint never undershoots the configured wait.
+func (s *Server) retryAfterValue() string {
+	d := s.cfg.RetryAfter
+	if d <= 0 {
+		d = time.Second
+	}
+	secs := int64((d + time.Second - 1) / time.Second)
+	return strconv.FormatInt(secs, 10)
 }

@@ -97,6 +97,13 @@ type JobSpec struct {
 	Coverage *CoverageSpec `json:"coverage,omitempty"`
 	Backhaul *BackhaulSpec `json:"backhaul,omitempty"`
 	Routing  *RoutingSpec  `json:"routing,omitempty"`
+	// Shard, when set, marks this spec as one shard of its parent
+	// campaign: Run computes only the shard's unit window and returns a
+	// ShardResult of unit snapshots instead of the campaign result. The
+	// clause participates in content addressing (the derived key is
+	// "parent/shard/i-of-n") because a shard fragment must never alias
+	// the full result. Normally authored by SplitSpec, not by clients.
+	Shard *ShardSpec `json:"shard,omitempty"`
 }
 
 // WindowSpec is one maintenance window.
@@ -269,36 +276,42 @@ func (s *JobSpec) Normalize() error {
 	if sections > 1 {
 		return specErr("exactly one parameter section may be set, got %d", sections)
 	}
+	var err error
 	switch s.Kind {
 	case KindPassive:
 		if s.Passive == nil {
 			s.Passive = &PassiveSpec{}
 		}
-		return s.Passive.normalize()
+		err = s.Passive.normalize()
 	case KindActive:
 		if s.Active == nil {
 			s.Active = &ActiveSpec{}
 		}
-		return s.Active.normalize()
+		err = s.Active.normalize()
 	case KindCoverage:
 		if s.Coverage == nil {
 			s.Coverage = &CoverageSpec{}
 		}
-		return s.Coverage.normalize()
+		err = s.Coverage.normalize()
 	case KindBackhaul:
 		if s.Backhaul == nil {
 			s.Backhaul = &BackhaulSpec{}
 		}
-		return s.Backhaul.normalize()
+		err = s.Backhaul.normalize()
 	case KindRouting:
 		if s.Routing == nil {
 			s.Routing = &RoutingSpec{}
 		}
-		return s.Routing.normalize()
+		err = s.Routing.normalize()
 	case "":
 		return specErr("kind is required (%s)", strings.Join(supportedKinds, ", "))
+	default:
+		return specErr("unknown kind %q (%s)", s.Kind, strings.Join(supportedKinds, ", "))
 	}
-	return specErr("unknown kind %q (%s)", s.Kind, strings.Join(supportedKinds, ", "))
+	if err != nil {
+		return err
+	}
+	return s.validateShard()
 }
 
 func checkDays(days int) error {
@@ -660,8 +673,19 @@ const deg2Rad = 3.14159265358979323846 / 180
 // serving layer marshals with MarshalResult. The spec must be Normalize-d.
 // The RunContext hooks (all optional) observe the campaign's phases and
 // thread checkpoint capture/resume through it; a cancelled context aborts
-// the run with ctx.Err().
+// the run with ctx.Err(). A shard sub-spec returns a *ShardResult of its
+// window's unit snapshots instead of a campaign result.
 func Run(ctx context.Context, spec *JobSpec, rc RunContext) (any, error) {
+	if spec.Shard != nil {
+		return runShard(ctx, spec, rc)
+	}
+	return runKind(ctx, spec, rc, nil)
+}
+
+// runKind dispatches a normalized spec to its campaign with the
+// RunContext hooks — and, for a shard run, the unit window — threaded
+// into the kind's config.
+func runKind(ctx context.Context, spec *JobSpec, rc RunContext, shard *core.ShardWindow) (any, error) {
 	switch spec.Kind {
 	case KindPassive:
 		cfg, err := spec.Passive.config()
@@ -671,6 +695,7 @@ func Run(ctx context.Context, spec *JobSpec, rc RunContext) (any, error) {
 		cfg.Progress = rc.Progress
 		cfg.Checkpoint = rc.Checkpoint
 		cfg.Resume = rc.Resume
+		cfg.Shard = shard
 		return core.RunPassiveCtx(ctx, cfg)
 	case KindActive:
 		cfg, err := spec.Active.config()
@@ -680,6 +705,7 @@ func Run(ctx context.Context, spec *JobSpec, rc RunContext) (any, error) {
 		cfg.Progress = rc.Progress
 		cfg.Checkpoint = rc.Checkpoint
 		cfg.Resume = rc.Resume
+		cfg.Shard = shard
 		return core.RunActiveCtx(ctx, cfg)
 	case KindCoverage:
 		c := spec.Coverage
@@ -691,9 +717,10 @@ func Run(ctx context.Context, spec *JobSpec, rc RunContext) (any, error) {
 			Progress:   rc.Progress,
 			Checkpoint: rc.Checkpoint,
 			Resume:     rc.Resume,
+			Shard:      shard,
 		})
 	case KindBackhaul:
-		return runBackhaul(ctx, spec.Backhaul, rc)
+		return runBackhaul(ctx, spec.Backhaul, rc, shard)
 	case KindRouting:
 		cfg, err := spec.Routing.config()
 		if err != nil {
@@ -702,6 +729,7 @@ func Run(ctx context.Context, spec *JobSpec, rc RunContext) (any, error) {
 		cfg.Progress = rc.Progress
 		cfg.Checkpoint = rc.Checkpoint
 		cfg.Resume = rc.Resume
+		cfg.Shard = shard
 		return core.RunRoutingCtx(ctx, cfg)
 	}
 	return nil, specErr("unknown kind %q (%s)", spec.Kind, strings.Join(supportedKinds, ", "))
@@ -712,7 +740,7 @@ func Run(ctx context.Context, spec *JobSpec, rc RunContext) (any, error) {
 // drain capacity PR 1 fans out inside the active campaign. The per-sat
 // results checkpoint under the "satellites" phase; the shared ephemeris
 // grid always rebuilds (its samples are inputs, not outputs).
-func runBackhaul(ctx context.Context, b *BackhaulSpec, rc RunContext) (*BackhaulResult, error) {
+func runBackhaul(ctx context.Context, b *BackhaulSpec, rc RunContext, shard *core.ShardWindow) (*BackhaulResult, error) {
 	cons, err := constellationByName(b.Constellation, b.Start)
 	if err != nil {
 		return nil, err
@@ -741,7 +769,7 @@ func runBackhaul(ctx context.Context, b *BackhaulSpec, rc RunContext) (*Backhaul
 		return nil, err
 	}
 	grid.Finish()
-	if err := core.ForEachCheckpointed("satellites", res.Satellites, rc.Resume, rc.Checkpoint, rc.Progress, func(i int) (SatBackhaul, error) {
+	if err := core.ForEachCheckpointed("satellites", res.Satellites, shard, rc.Resume, rc.Checkpoint, rc.Progress, func(i int) (SatBackhaul, error) {
 		if err := ctx.Err(); err != nil {
 			return SatBackhaul{}, err
 		}
@@ -762,6 +790,11 @@ func runBackhaul(ctx context.Context, b *BackhaulSpec, rc RunContext) (*Backhaul
 		return sat, nil
 	}); err != nil {
 		return nil, err
+	}
+	if shard != nil {
+		// Shard run: the windowed units are with rc.Checkpoint; only the
+		// merge node, holding every satellite, sorts and assembles.
+		return res, nil
 	}
 	sort.Slice(res.Satellites, func(i, j int) bool { return res.Satellites[i].NoradID < res.Satellites[j].NoradID })
 	return res, nil
