@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build test race bench bench-smoke fuzz-smoke serve-smoke crash-smoke cluster-smoke staticcheck govulncheck ci
+.PHONY: all build test race bench bench-smoke fuzz-smoke serve-smoke crash-smoke cluster-smoke trace-smoke staticcheck govulncheck ci
 
 all: build
 
@@ -53,9 +53,20 @@ crash-smoke:
 # cluster-smoke is the fleet drill: a real coordinator fronting two real
 # sinetd workers, a campaign sharded across both, one worker SIGKILLed
 # mid-shard, and the finished job required to serve bytes identical to a
-# direct library run (see cmd/sinetd/cluster_test.go).
+# direct library run (see cmd/sinetd/cluster_test.go). The killed job's
+# stitched distributed trace is captured to SINET_TRACE_OUT (the CI
+# workflow uploads it as an artifact) and must show coordinator spans,
+# worker spans and the resubmitted shard under one trace ID.
 cluster-smoke:
-	$(GO) test ./cmd/sinetd/ -run TestClusterKillWorkerServesByteIdenticalResult -count=1 -v
+	SINET_TRACE_OUT=$(CURDIR)/stitched-trace.json \
+		$(GO) test ./cmd/sinetd/ -run TestClusterKillWorkerServesByteIdenticalResult -count=1 -v
+
+# trace-smoke re-runs the cluster drill's trace assertions alone plus the
+# in-process stitched-trace tests: one trace ID spanning coordinator,
+# >= 2 worker spans, and a shard.attempt with attempt >= 2 after the kill.
+trace-smoke: cluster-smoke
+	$(GO) test ./internal/cluster/ -run 'TestClusterStitchedShardTrace|TestClusterProxiedTrace' -count=1 -v
+	$(GO) test ./internal/service/ -run 'TestJobTraceEndpoint|TestDebugTracesEndpoint|TestTraceparentPropagation' -count=1 -v
 
 # staticcheck / govulncheck run only when installed, so `make ci` stays usable
 # in hermetic environments; the GitHub workflow installs both.

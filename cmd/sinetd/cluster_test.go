@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -167,5 +169,72 @@ func TestClusterKillWorkerServesByteIdenticalResult(t *testing.T) {
 	}
 	if bytes.Contains(metrics, []byte("sinet_cluster_failovers_total 0")) {
 		t.Fatal("metrics still report zero failovers after the worker kill")
+	}
+
+	// Trace smoke: the stitched timeline must tell the whole story under
+	// ONE trace ID — coordinator-side spans, worker-side spans, and the
+	// resubmission of the killed worker's shard (a shard.attempt span
+	// with attempt >= 2). The victim's own spans died with its process;
+	// the survivor contributes the shard reruns.
+	tr, err := http.Get(base + "/v1/jobs/" + submitted.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceRaw, err := readAll(tr, http.StatusOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := os.Getenv("SINET_TRACE_OUT"); out != "" {
+		if werr := os.WriteFile(out, traceRaw, 0o644); werr != nil {
+			t.Logf("could not write trace artifact to %s: %v", out, werr)
+		}
+	}
+	var jt struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			TraceID string `json:"trace_id"`
+			Name    string `json:"name"`
+			Service string `json:"service"`
+			Attrs   []struct {
+				Key   string `json:"key"`
+				Value string `json:"value"`
+			} `json:"attrs"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(traceRaw, &jt); err != nil {
+		t.Fatalf("decode stitched trace %s: %v", traceRaw, err)
+	}
+	if jt.TraceID == "" {
+		t.Fatalf("stitched trace has no trace ID: %s", traceRaw)
+	}
+	coordSpans, workerSpans, resubmitted := 0, 0, false
+	for _, sp := range jt.Spans {
+		if sp.TraceID != jt.TraceID {
+			t.Fatalf("span %s/%s on trace %s; every span must share %s", sp.Service, sp.Name, sp.TraceID, jt.TraceID)
+		}
+		switch {
+		case sp.Service == "coordinator":
+			coordSpans++
+		case strings.HasPrefix(sp.Service, "worker:"):
+			workerSpans++
+		}
+		if sp.Name == "shard.attempt" {
+			for _, a := range sp.Attrs {
+				if a.Key == "attempt" {
+					if n, perr := strconv.Atoi(a.Value); perr == nil && n >= 2 {
+						resubmitted = true
+					}
+				}
+			}
+		}
+	}
+	if coordSpans == 0 {
+		t.Errorf("stitched trace has no coordinator spans: %s", traceRaw)
+	}
+	if workerSpans < 2 {
+		t.Errorf("stitched trace has %d worker spans, want >= 2: %s", workerSpans, traceRaw)
+	}
+	if !resubmitted {
+		t.Errorf("no shard.attempt span with attempt >= 2 after the worker kill: %s", traceRaw)
 	}
 }

@@ -50,6 +50,7 @@ import (
 	"github.com/sinet-io/sinet/internal/cluster"
 	"github.com/sinet-io/sinet/internal/obs"
 	"github.com/sinet-io/sinet/internal/service"
+	"github.com/sinet-io/sinet/internal/tracing"
 )
 
 func main() {
@@ -115,6 +116,7 @@ func run(args []string, stdout io.Writer) error {
 	advertise := fs.String("advertise", "", "this worker's own base URL as it appears in -peers (worker mode)")
 	shardThreshold := fs.Int("shard-threshold", 16, "campaign unit count above which the coordinator shards jobs across workers (-1 disables)")
 	maxShards := fs.Int("max-shards", 0, "cap on one campaign's shard fan-out (0 = number of peers)")
+	traceBuffer := fs.Int("trace-buffer", tracing.DefaultCapacity, "in-process span ring capacity for /debug/traces (0 disables tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,6 +146,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *maxShards < 0 {
 		return fmt.Errorf("-max-shards must be non-negative, got %d", *maxShards)
+	}
+	if *traceBuffer < 0 {
+		return fmt.Errorf("-trace-buffer must be non-negative, got %d", *traceBuffer)
 	}
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
@@ -177,6 +182,19 @@ func run(args []string, stdout io.Writer) error {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	obs.RegisterRuntimeMetrics(cfg.Metrics)
+	// The tracer's service name tells stitched timelines which process a
+	// span ran in: the coordinator is "coordinator", a worker identifies
+	// as its ring identity (-advertise) when it has one, else by pid.
+	if *traceBuffer > 0 {
+		identity := fmt.Sprintf("worker:%d", os.Getpid())
+		if *coordinator {
+			identity = "coordinator"
+		} else if *advertise != "" {
+			identity = "worker:" + strings.TrimSuffix(*advertise, "/")
+		}
+		cfg.Tracer = tracing.New(identity, *traceBuffer)
+	}
 	if *journalDir != "" {
 		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
 			return fmt.Errorf("-journal-dir: %w", err)
@@ -191,6 +209,7 @@ func run(args []string, stdout io.Writer) error {
 			MaxShards:      *maxShards,
 			Metrics:        cfg.Metrics,
 			Logger:         logger,
+			Tracer:         cfg.Tracer,
 			Local:          cfg,
 		}
 		build := func() (http.Handler, func(context.Context) error, []any, error) {

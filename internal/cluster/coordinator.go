@@ -11,10 +11,12 @@ import (
 	"net/http"
 	"net/url"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sinet-io/sinet/internal/obs"
 	"github.com/sinet-io/sinet/internal/service"
+	"github.com/sinet-io/sinet/internal/tracing"
 )
 
 // Config parameterizes a Coordinator.
@@ -44,6 +46,13 @@ type Config struct {
 	Metrics *obs.Registry
 	// Logger receives structured coordination logs. Nil logs nothing.
 	Logger *slog.Logger
+	// Tracer records the coordinator-side spans of every job timeline —
+	// proxy hops, shard fanout, per-shard failover attempts, checkpoint
+	// folds — and is installed into the embedded server as well, so one
+	// ring buffer holds the whole coordinator-side story. New propagates
+	// W3C traceparent on every worker hop either way; nil just records
+	// nothing locally.
+	Tracer *tracing.Tracer
 	// Local configures the coordinator's embedded service.Server, which
 	// owns sharded jobs (queue, SSE, journal, retry budget, cache) and
 	// serves everything itself when the whole fleet is unreachable. Its
@@ -66,11 +75,13 @@ type Coordinator struct {
 	client  *http.Client
 	metrics *clusterMetrics
 	logger  *slog.Logger
+	tracer  *tracing.Tracer
+	reqSeq  atomic.Uint64
 
 	mu    sync.Mutex
-	route map[string]string // proxied job ID -> owning peer
-	load  map[string]int    // peer -> in-flight coordinator-initiated work
-	up    map[string]bool   // peer -> last probe verdict
+	route map[string]routeEntry // proxied job ID -> owning peer + trace
+	load  map[string]int        // peer -> in-flight coordinator-initiated work
+	up    map[string]bool       // peer -> last probe verdict
 
 	probeCtx    context.Context
 	probeCancel context.CancelFunc
@@ -108,7 +119,8 @@ func New(cfg Config) (*Coordinator, error) {
 		ring:   NewRing(cfg.Peers, cfg.VNodes),
 		client: cfg.Client,
 		logger: cfg.Logger,
-		route:  map[string]string{},
+		tracer: cfg.Tracer,
+		route:  map[string]routeEntry{},
 		load:   map[string]int{},
 		up:     map[string]bool{},
 	}
@@ -117,6 +129,7 @@ func New(cfg Config) (*Coordinator, error) {
 	local.Runner = c.clusterRunner
 	local.Metrics = cfg.Metrics
 	local.Logger = cfg.Logger
+	local.Tracer = cfg.Tracer
 	local.CacheFill = c.peerCacheFill
 	srv, err := service.New(local)
 	if err != nil {
@@ -244,6 +257,23 @@ func (c *Coordinator) candidates(key service.Key) []string {
 	return ordered
 }
 
+// routeEntry remembers where a proxied job went and which trace its
+// timeline lives under, so status/result/cancel hops and stitched trace
+// fetches follow the job to its worker.
+type routeEntry struct {
+	peer  string
+	trace tracing.TraceID
+}
+
+// requestID returns the request's correlation ID: the client's own
+// X-Request-Id when it sent one, else a coordinator-unique "c%06d".
+func (c *Coordinator) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		return id
+	}
+	return fmt.Sprintf("c%06d", c.reqSeq.Add(1))
+}
+
 // --- embedded-runner path ----------------------------------------------
 
 // clusterRunner executes the jobs the coordinator owns: campaigns big
@@ -271,6 +301,12 @@ func (c *Coordinator) runSharded(ctx context.Context, spec *service.JobSpec, n i
 	if err != nil {
 		return nil, err
 	}
+	// The fanout span nests under the owning job's attempt span (the
+	// embedded server injected it into ctx); each shard gets a child span,
+	// and failover attempts get their own spans inside runRemote — so a
+	// worker death shows up on the timeline as a shard with attempt >= 2.
+	ctx, fan := tracing.Start(ctx, "fanout", tracing.Int("shards", n), tracing.String("kind", spec.Kind))
+	defer fan.End()
 	c.metrics.observeShardJob(n)
 	if c.logger != nil {
 		c.logger.Info("campaign sharded", slog.String("kind", spec.Kind), slog.Int("shards", n))
@@ -295,32 +331,54 @@ func (c *Coordinator) runSharded(ctx context.Context, spec *service.JobSpec, n i
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			sctx, sp := tracing.Start(ctx, "shard", tracing.Int("shard", i), tracing.Int("count", n))
+			defer sp.End()
 			key, kerr := service.ConfigKey(shards[i])
 			if kerr != nil {
+				sp.SetError(kerr)
 				errs[i] = kerr
 				return
 			}
-			blobs[i], errs[i] = c.runRemote(ctx, shards[i], key)
-			if errs[i] == nil {
-				report()
+			sp.SetAttr(tracing.String("key", key.Short()))
+			blobs[i], errs[i] = c.runRemote(sctx, shards[i], key)
+			if errs[i] != nil {
+				sp.SetError(errs[i])
+				return
 			}
+			sp.SetAttr(tracing.Int("bytes", len(blobs[i])))
+			report()
 		}(i)
 	}
 	wg.Wait()
 	for i, e := range errs {
 		if e != nil {
-			return nil, fmt.Errorf("cluster: shard %d/%d: %w", i, n, e)
+			err := fmt.Errorf("cluster: shard %d/%d: %w", i, n, e)
+			fan.SetError(err)
+			return nil, err
 		}
 	}
+	_, fold := tracing.Start(ctx, "checkpoint.fold", tracing.Int("shards", n))
 	folded, err := service.FoldShards(blobs)
 	if err != nil {
+		fold.SetError(err)
+		fold.End()
+		fan.SetError(err)
 		return nil, err
 	}
-	return service.Run(ctx, spec, service.RunContext{
+	fold.SetAttr(tracing.Int("units", folded.Len()))
+	fold.End()
+	mctx, merge := tracing.Start(ctx, "merge", tracing.Int("units", folded.Len()))
+	res, err := service.Run(mctx, spec, service.RunContext{
 		Progress:   rc.Progress,
 		Checkpoint: rc.Checkpoint,
 		Resume:     folded,
 	})
+	if err != nil {
+		merge.SetError(err)
+		fan.SetError(err)
+	}
+	merge.End()
+	return res, err
 }
 
 // peerCacheFill is the embedded server's CacheFill: on a local miss, ask
@@ -347,6 +405,7 @@ func peerCacheLookup(ctx context.Context, client *http.Client, peer string, key 
 	if err != nil {
 		return nil, false
 	}
+	injectTrace(ctx, req)
 	resp, err := client.Do(req)
 	if err != nil {
 		return nil, false
@@ -389,6 +448,8 @@ func PeerCacheFill(ring *Ring, self string, client *http.Client) func(context.Co
 //	GET    /v1/jobs/{id}[...]    status/result/events proxied to the job's
 //	                             worker; coordinator-owned jobs serve local
 //	DELETE /v1/jobs/{id}         cancel, routed the same way
+//	GET    /v1/jobs/{id}/trace   stitched distributed timeline (see trace.go)
+//	GET    /debug/traces         coordinator-side recent root spans
 //	GET    /v1/stats             cluster stats (peers, load, local server)
 //	GET    /v1/cache             embedded server's cache lookup
 //	GET    /healthz, /readyz     coordinator liveness/readiness
@@ -400,6 +461,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", c.proxyJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", c.proxyJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.proxyJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", c.handleJobTrace)
+	mux.HandleFunc("GET /debug/traces", c.localH.ServeHTTP)
 	mux.HandleFunc("GET /v1/stats", c.handleStats)
 	mux.HandleFunc("GET /v1/cache", c.localH.ServeHTTP)
 	mux.HandleFunc("GET /healthz", c.localH.ServeHTTP)
@@ -457,17 +520,38 @@ func (c *Coordinator) serveLocal(w http.ResponseWriter, r *http.Request, canonic
 // the job — rather than failed over, because a full owner queue is the
 // signal to wait, not to stampede the next peer.
 func (c *Coordinator) proxySubmit(w http.ResponseWriter, r *http.Request, key service.Key, canonical []byte) {
+	parent := tracing.FromRequest(r)
+	reqID := c.requestID(r)
+	w.Header().Set("X-Request-Id", reqID)
 	for i, peer := range c.candidates(key) {
+		// Each forwarding attempt is its own span, child of the client's
+		// traceparent (or a fresh trace): the worker's "job" root nests
+		// under it, so the stitched timeline shows the proxy hop. When the
+		// coordinator's tracer is off the client's traceparent still
+		// passes through untouched.
+		sp := c.tracer.StartChild(parent, "proxy.submit", tracing.String("peer", peer), tracing.String("key", key.Short()))
+		hop := sp.Context()
+		if !hop.Valid() {
+			hop = parent
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), 15*time.Second)
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/jobs", bytes.NewReader(canonical))
 		if err != nil {
 			cancel()
+			sp.SetError(err)
+			sp.End()
 			continue
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-Id", reqID)
+		if hop.Valid() {
+			tracing.Inject(req, hop)
+		}
 		resp, err := c.client.Do(req)
 		if err != nil {
 			cancel()
+			sp.SetError(err)
+			sp.End()
 			if i > 0 {
 				c.metrics.observeFailover()
 			}
@@ -480,16 +564,20 @@ func (c *Coordinator) proxySubmit(w http.ResponseWriter, r *http.Request, key se
 		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 		resp.Body.Close()
 		cancel()
+		sp.SetAttr(tracing.Int("status", resp.StatusCode))
 		if rerr != nil {
+			sp.SetError(rerr)
+			sp.End()
 			continue
 		}
+		sp.End()
 		if resp.StatusCode == http.StatusAccepted {
 			var accepted struct {
 				ID string `json:"id"`
 			}
 			if json.Unmarshal(body, &accepted) == nil && accepted.ID != "" {
 				c.mu.Lock()
-				c.route[accepted.ID] = peer
+				c.route[accepted.ID] = routeEntry{peer: peer, trace: hop.TraceID}
 				c.mu.Unlock()
 			}
 		}
@@ -507,13 +595,13 @@ func (c *Coordinator) proxySubmit(w http.ResponseWriter, r *http.Request, key se
 func (c *Coordinator) proxyJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	c.mu.Lock()
-	peer, proxied := c.route[id]
+	ent, proxied := c.route[id]
 	c.mu.Unlock()
 	if !proxied {
 		c.localH.ServeHTTP(w, r)
 		return
 	}
-	u := peer + r.URL.Path
+	u := ent.peer + r.URL.Path
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
 	}
@@ -522,10 +610,16 @@ func (c *Coordinator) proxyJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	reqID := c.requestID(r)
+	w.Header().Set("X-Request-Id", reqID)
+	req.Header.Set("X-Request-Id", reqID)
+	if sc := tracing.FromRequest(r); sc.Valid() {
+		tracing.Inject(req, sc)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.metrics.observeProxied(http.StatusBadGateway)
-		writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: worker %s unreachable: %w", peer, err))
+		writeError(w, http.StatusBadGateway, fmt.Errorf("cluster: worker %s unreachable: %w", ent.peer, err))
 		return
 	}
 	defer resp.Body.Close()
@@ -544,7 +638,7 @@ func relay(w http.ResponseWriter, resp *http.Response, body []byte) {
 }
 
 func copyHeader(w http.ResponseWriter, resp *http.Response) {
-	for _, h := range []string{"Content-Type", "Retry-After", "Cache-Control", "Connection"} {
+	for _, h := range []string{"Content-Type", "Retry-After", "Cache-Control", "Connection", "X-Request-Id"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

@@ -14,7 +14,17 @@ import (
 
 	"github.com/sinet-io/sinet/internal/service"
 	"github.com/sinet-io/sinet/internal/sim"
+	"github.com/sinet-io/sinet/internal/tracing"
 )
+
+// injectTrace stamps the request with ctx's current span context as a
+// W3C traceparent header, so worker-side spans nest under the
+// coordinator span that issued the hop. Untraced contexts add nothing.
+func injectTrace(ctx context.Context, req *http.Request) {
+	if _, sc := tracing.FromContext(ctx); sc.Valid() {
+		tracing.Inject(req, sc)
+	}
+}
 
 // errPermanent marks remote failures no other worker can fix — a bad
 // spec, or a campaign that genuinely failed after the worker's own retry
@@ -68,10 +78,20 @@ func (c *Coordinator) runRemote(ctx context.Context, spec *service.JobSpec, key 
 				}
 			}
 			attempt++
-			data, err := c.runOn(ctx, peer, canonical)
+			// Every attempt — including the resubmission after a worker
+			// death — is a "shard.attempt" span, so a killed worker shows
+			// up on the stitched timeline as the same shard reappearing on
+			// another peer with attempt >= 2.
+			actx, att := tracing.Start(ctx, "shard.attempt",
+				tracing.String("peer", peer), tracing.Int("attempt", attempt))
+			data, err := c.runOn(actx, peer, canonical)
 			if err == nil {
+				att.SetAttr(tracing.Int("bytes", len(data)))
+				att.End()
 				return data, nil
 			}
+			att.SetError(err)
+			att.End()
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
@@ -125,9 +145,10 @@ func (c *Coordinator) runOn(ctx context.Context, peer string, canonical []byte) 
 	if err != nil {
 		return nil, err
 	}
+	_, sc := tracing.FromContext(ctx)
 	defer func() {
 		if ctx.Err() != nil {
-			c.cancelOn(peer, id)
+			c.cancelOn(peer, id, sc)
 		}
 	}()
 
@@ -170,6 +191,8 @@ func (c *Coordinator) submitOn(ctx context.Context, peer string, canonical []byt
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", fmt.Sprintf("c%06d", c.reqSeq.Add(1)))
+	injectTrace(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return "", err
@@ -209,6 +232,7 @@ func (c *Coordinator) statusOn(ctx context.Context, peer, id string) (*service.J
 	if err != nil {
 		return nil, err
 	}
+	injectTrace(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -232,6 +256,7 @@ func (c *Coordinator) resultOn(ctx context.Context, peer, id string) ([]byte, er
 	if err != nil {
 		return nil, err
 	}
+	injectTrace(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -244,13 +269,17 @@ func (c *Coordinator) resultOn(ctx context.Context, peer, id string) ([]byte, er
 }
 
 // cancelOn best-effort-cancels a remote job after the coordinator's own
-// context died; it runs on a fresh short-lived context by design.
-func (c *Coordinator) cancelOn(peer, id string) {
+// context died; it runs on a fresh short-lived context by design, so the
+// span context of the dead attempt is carried explicitly.
+func (c *Coordinator) cancelOn(peer, id string, sc tracing.SpanContext) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, peer+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return
+	}
+	if sc.Valid() {
+		tracing.Inject(req, sc)
 	}
 	if resp, err := c.client.Do(req); err == nil {
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))

@@ -18,11 +18,34 @@ import (
 // A variable so tests can shrink the window.
 var scrapeTTL = 2 * time.Second
 
-// aggSample is one summed series: a renamed metric plus its label pair.
+// aggSample is one aggregated series: a renamed metric plus its label
+// pair. perWorker marks runtime-health series that carry a worker label
+// and are never summed.
 type aggSample struct {
-	name   string // renamed family, e.g. sinet_cluster_admission_total
-	labels string // "{code=\"202\"}" or ""
-	value  float64
+	name      string // renamed family, e.g. sinet_cluster_admission_total
+	labels    string // "{code=\"202\"}" or ""
+	value     float64
+	perWorker bool
+}
+
+// perWorkerFamily reports whether a worker metric family is process
+// runtime health (obs.RegisterRuntimeMetrics): goroutines, heap, GC
+// pauses, fds. Summing those across the fleet would hide exactly what
+// they exist to show — WHICH worker is sick — so the aggregator
+// re-exports them per worker under a worker="<peer>" label instead.
+func perWorkerFamily(name string) bool {
+	return strings.HasPrefix(name, "sinet_go_") || strings.HasPrefix(name, "sinet_process_")
+}
+
+// workerLabel injects worker="<peer>" into an existing label set ("" or
+// "{k=\"v\",...}"), keeping the result valid exposition syntax.
+func workerLabel(labels, peer string) string {
+	esc := strings.NewReplacer("\\", "\\\\", "\"", "\\\"").Replace(peer)
+	pair := `worker="` + esc + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return "{" + pair + "," + labels[1:]
 }
 
 // parseSamples folds one worker's text-format scrape into sums: counter
@@ -35,7 +58,7 @@ type aggSample struct {
 // renamed "sinet_X" → "sinet_cluster_X" so the coordinator's own serving
 // metrics (it runs a service.Server too) can never collide with the
 // fleet aggregate.
-func parseSamples(r io.Reader, types map[string]string, sums map[string]*aggSample) error {
+func parseSamples(r io.Reader, worker string, types map[string]string, sums map[string]*aggSample) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
@@ -69,6 +92,11 @@ func parseSamples(r io.Reader, types map[string]string, sums map[string]*aggSamp
 			continue // histogram pieces, gauge funcs of unknown shape, untyped
 		}
 		renamed := "sinet_cluster_" + strings.TrimPrefix(name, "sinet_")
+		if perWorkerFamily(name) {
+			wl := workerLabel(labels, worker)
+			sums[renamed+wl] = &aggSample{name: renamed, labels: wl, value: value, perWorker: true}
+			continue
+		}
 		key := renamed + labels
 		if s, ok := sums[key]; ok {
 			s.value += value
@@ -93,7 +121,11 @@ func renderAgg(w io.Writer, types map[string]string, sums map[string]*aggSample)
 		s := sums[k]
 		if s.name != lastFamily {
 			orig := "sinet_" + strings.TrimPrefix(s.name, "sinet_cluster_")
-			fmt.Fprintf(w, "# HELP %s Cluster-wide sum of %s across workers.\n", s.name, orig)
+			if s.perWorker {
+				fmt.Fprintf(w, "# HELP %s Per-worker value of %s (not summed).\n", s.name, orig)
+			} else {
+				fmt.Fprintf(w, "# HELP %s Cluster-wide sum of %s across workers.\n", s.name, orig)
+			}
 			fmt.Fprintf(w, "# TYPE %s %s\n", s.name, types[orig])
 			lastFamily = s.name
 		}
@@ -150,9 +182,9 @@ func (c *Coordinator) aggregateMetrics() []byte {
 	wg.Wait()
 	types := map[string]string{}
 	sums := map[string]*aggSample{}
-	for _, res := range results {
+	for i, res := range results {
 		if res.ok {
-			_ = parseSamples(strings.NewReader(string(res.body)), types, sums)
+			_ = parseSamples(strings.NewReader(string(res.body)), c.cfg.Peers[i], types, sums)
 		}
 	}
 	var buf strings.Builder

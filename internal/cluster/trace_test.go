@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/sinet-io/sinet/internal/obs"
+	"github.com/sinet-io/sinet/internal/service"
+	"github.com/sinet-io/sinet/internal/tracing"
+)
+
+// tracedCluster is startCluster with a tracer in every process: one per
+// worker (named worker:<i>) and one on the coordinator.
+func tracedCluster(t *testing.T, n, threshold int) *testCluster {
+	t.Helper()
+	return startCluster(t, workerOpts{
+		n:         n,
+		threshold: threshold,
+		cfg: func(i int, c *service.Config) {
+			c.Tracer = tracing.New(fmt.Sprintf("worker:%d", i), 0)
+		},
+		coordCfg: func(c *Config) {
+			c.Tracer = tracing.New("coordinator", 0)
+		},
+	})
+}
+
+func fetchJobTraceJSON(t *testing.T, baseURL, id string) service.JobTrace {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: %d %s", resp.StatusCode, raw)
+	}
+	var jt service.JobTrace
+	if err := json.Unmarshal(raw, &jt); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+	return jt
+}
+
+// TestClusterStitchedShardTrace runs a sharded campaign and asserts the
+// coordinator's trace endpoint assembles one timeline: a single trace
+// ID whose spans come from the coordinator (job, fanout, shards, fold,
+// merge) AND from at least two distinct workers (their shard jobs).
+func TestClusterStitchedShardTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a sharded campaign across an in-process fleet")
+	}
+	tc := tracedCluster(t, 3, 3)
+	spec := clusterGoldenSpecs["coverage"] // 4 latitudes >= threshold 3: shards
+	id := submitJob(t, tc.coordTS.URL, spec)
+	awaitResult(t, tc.coordTS.URL, id)
+
+	jt := fetchJobTraceJSON(t, tc.coordTS.URL, id)
+	if jt.TraceID == "" {
+		t.Fatal("stitched trace has no trace ID")
+	}
+	services := map[string]bool{}
+	names := map[string]bool{}
+	for _, sp := range jt.Spans {
+		if sp.TraceID != jt.TraceID {
+			t.Fatalf("span %s/%s on trace %s, want single trace %s", sp.Service, sp.Name, sp.TraceID, jt.TraceID)
+		}
+		services[sp.Service] = true
+		names[sp.Name] = true
+	}
+	if !services["coordinator"] {
+		t.Errorf("no coordinator spans in stitched trace: %v", services)
+	}
+	nWorkers := 0
+	for svc := range services {
+		if strings.HasPrefix(svc, "worker:") {
+			nWorkers++
+		}
+	}
+	if nWorkers < 2 {
+		t.Errorf("stitched trace covers %d workers, want >= 2: %v", nWorkers, services)
+	}
+	for _, want := range []string{"job", "fanout", "shard", "shard.attempt", "checkpoint.fold", "merge"} {
+		if !names[want] {
+			t.Errorf("stitched trace missing %q span: %v", want, names)
+		}
+	}
+}
+
+// TestClusterProxiedTrace submits a small (unsharded) campaign, which
+// the coordinator proxies to a ring worker, and asserts the stitched
+// timeline shows the proxy hop and the worker's own lifecycle under one
+// trace.
+func TestClusterProxiedTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small campaign across an in-process fleet")
+	}
+	tc := tracedCluster(t, 2, 100) // threshold high: nothing shards
+	id := submitJob(t, tc.coordTS.URL, clusterGoldenSpecs["passive"])
+	awaitResult(t, tc.coordTS.URL, id)
+
+	jt := fetchJobTraceJSON(t, tc.coordTS.URL, id)
+	names := map[string]bool{}
+	services := map[string]bool{}
+	for _, sp := range jt.Spans {
+		if sp.TraceID != jt.TraceID {
+			t.Fatalf("span %s on trace %s, want %s", sp.Name, sp.TraceID, jt.TraceID)
+		}
+		names[sp.Name] = true
+		services[sp.Service] = true
+	}
+	if !names["proxy.submit"] || !services["coordinator"] {
+		t.Errorf("proxy hop missing from timeline: names %v services %v", names, services)
+	}
+	if !names["job"] || !names["attempt"] {
+		t.Errorf("worker lifecycle missing from timeline: %v", names)
+	}
+}
+
+// TestClusterScrapeRuntimePerWorker pins the per-worker re-export: a
+// worker's runtime health gauges appear on the coordinator scrape under
+// a worker label, one series per peer, never summed into one number.
+func TestClusterScrapeRuntimePerWorker(t *testing.T) {
+	tc := startCluster(t, workerOpts{
+		n: 2,
+		cfg: func(i int, c *service.Config) {
+			c.Metrics = obs.New()
+			obs.RegisterRuntimeMetrics(c.Metrics)
+		},
+	})
+	resp, err := http.Get(tc.coordTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	out := string(raw)
+	for i := range tc.servers {
+		want := fmt.Sprintf(`sinet_cluster_go_goroutines{worker="%s"}`, tc.servers[i].URL)
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing per-worker series %s:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "sinet_cluster_go_goroutines ") {
+			t.Errorf("goroutine gauge was summed across workers: %s", line)
+		}
+	}
+}

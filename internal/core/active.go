@@ -394,7 +394,7 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 		Exact:            cfg.ExactEphemeris,
 		MaxInterpErrorKm: cfg.MaxInterpErrorKm,
 	})
-	if err := sim.ForEachPhase("ephemeris", len(props), func(i int) error {
+	if err := sim.ForEachPhaseCtx(ctx, "ephemeris", len(props), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -411,7 +411,7 @@ func RunActiveCtx(ctx context.Context, cfg ActiveConfig) (*ActiveResult, error) 
 	// fault schedules rebuild serially below — both are cheap and
 	// deterministic (named RNG streams), only the searches are expensive.
 	plans := make([]satPlan, len(props))
-	if err := forEachCheckpointed("plan", plans, cfg.Shard, cfg.Resume, cfg.Checkpoint, cfg.Progress, func(i int) (satPlan, error) {
+	if err := forEachCheckpointed(ctx, "plan", plans, cfg.Shard, cfg.Resume, cfg.Checkpoint, cfg.Progress, func(i int) (satPlan, error) {
 		if err := ctx.Err(); err != nil {
 			return satPlan{}, err
 		}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/sinet-io/sinet/internal/sim"
+	"github.com/sinet-io/sinet/internal/tracing"
 )
 
 // ShardWindow restricts a campaign's checkpointable phase to the
@@ -147,7 +150,15 @@ func (c *Checkpoint) snapshot(phase string, total int) *PhaseSnapshot {
 // its window: only in-window units restore or compute (save still
 // reports the full phase size, so shard snapshots fold directly into a
 // full-phase resume point), and progress totals cover the window.
-func forEachCheckpointed[T any](phase string, out []T, shard *ShardWindow, resume *Checkpoint, save CheckpointFunc, progress ProgressFunc, fn func(i int) (T, error)) error {
+//
+// When ctx carries a tracer the phase is additionally recorded as a
+// "phase:<name>" span annotated with restored/computed unit counts (and
+// the shard window, when sharded) — richer than the plain span
+// sim.ForEachPhaseCtx would emit, so this wrapper records the span
+// itself and leaves the inner fan-out histogram-only. The clock is only
+// read when a tracer is present, and the span is recorded after the
+// fan-out completes: tracing never parameterizes the run.
+func forEachCheckpointed[T any](ctx context.Context, phase string, out []T, shard *ShardWindow, resume *Checkpoint, save CheckpointFunc, progress ProgressFunc, fn func(i int) (T, error)) error {
 	n := len(out)
 	if err := shard.validate(n); err != nil {
 		return err
@@ -186,7 +197,12 @@ func forEachCheckpointed[T any](phase string, out []T, shard *ShardWindow, resum
 		onDone = func(completed, total int) { progress(phase, nRestored+completed, span) }
 	}
 	var mu sync.Mutex
-	return sim.ForEachPhase(phase, len(pending), func(k int) error {
+	tr, parent := tracing.FromContext(ctx)
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
+	err := sim.ForEachPhase(phase, len(pending), func(k int) error {
 		i := pending[k]
 		v, err := fn(i)
 		if err != nil {
@@ -202,11 +218,26 @@ func forEachCheckpointed[T any](phase string, out []T, shard *ShardWindow, resum
 		}
 		return nil
 	}, onDone)
+	if tr != nil {
+		attrs := []tracing.Attr{
+			tracing.Int("units", span),
+			tracing.Int("restored", nRestored),
+			tracing.Int("computed", len(pending)),
+		}
+		if shard != nil {
+			attrs = append(attrs, tracing.Int("shard_lo", shard.Lo), tracing.Int("shard_hi", shard.Hi))
+		}
+		if err != nil {
+			attrs = append(attrs, tracing.String("error", err.Error()))
+		}
+		tr.Record(parent, "phase:"+phase, start, time.Now(), attrs...)
+	}
+	return err
 }
 
 // ForEachCheckpointed is the exported fan-out for callers outside core
 // (the service's backhaul campaign) that thread checkpointing through
 // their own phases with the same restore/compute/save/shard contract.
-func ForEachCheckpointed[T any](phase string, out []T, shard *ShardWindow, resume *Checkpoint, save CheckpointFunc, progress ProgressFunc, fn func(i int) (T, error)) error {
-	return forEachCheckpointed(phase, out, shard, resume, save, progress, fn)
+func ForEachCheckpointed[T any](ctx context.Context, phase string, out []T, shard *ShardWindow, resume *Checkpoint, save CheckpointFunc, progress ProgressFunc, fn func(i int) (T, error)) error {
+	return forEachCheckpointed(ctx, phase, out, shard, resume, save, progress, fn)
 }

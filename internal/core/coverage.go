@@ -77,7 +77,7 @@ func RevisitAnalysisOpts(ctx context.Context, cons constellation.Constellation, 
 	// re-propagating. Workers each fill their own row index, so the
 	// fan-out never races.
 	grid := orbit.NewEphemerisGrid(props, start, end, orbit.EphemerisConfig{ScanStep: time.Minute})
-	if err := sim.ForEachPhase("ephemeris", grid.Sats(), func(i int) error {
+	if err := sim.ForEachPhaseCtx(ctx, "ephemeris", grid.Sats(), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -89,7 +89,7 @@ func RevisitAnalysisOpts(ctx context.Context, cons constellation.Constellation, 
 	grid.Finish()
 
 	out := make([]RevisitStats, len(latitudesDeg))
-	if err := forEachCheckpointed("latitudes", out, opts.Shard, opts.Resume, opts.Checkpoint, progress, func(li int) (RevisitStats, error) {
+	if err := forEachCheckpointed(ctx, "latitudes", out, opts.Shard, opts.Resume, opts.Checkpoint, progress, func(li int) (RevisitStats, error) {
 		if err := ctx.Err(); err != nil {
 			return RevisitStats{}, err
 		}

@@ -277,7 +277,7 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 			sats = append(sats, satRef{ci, si})
 		}
 	}
-	if err := sim.ForEachPhase("ephemeris", len(sats), func(i int) error {
+	if err := sim.ForEachPhaseCtx(ctx, "ephemeris", len(sats), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -303,7 +303,7 @@ func RunPassiveCtx(ctx context.Context, cfg PassiveConfig) (*PassiveResult, erro
 		}
 	}
 	units := make([]passiveUnit, len(pairs))
-	if err := forEachCheckpointed("contacts", units, cfg.Shard, cfg.Resume, cfg.Checkpoint, cfg.Progress, func(i int) (passiveUnit, error) {
+	if err := forEachCheckpointed(ctx, "contacts", units, cfg.Shard, cfg.Resume, cfg.Checkpoint, cfg.Progress, func(i int) (passiveUnit, error) {
 		p := pairs[i]
 		return runPassiveSiteConstellation(ctx, cfg, p.s.site, p.s.stations, p.c, p.s.weather, p.s.start, end, p.s.outages)
 	}); err != nil {

@@ -11,6 +11,7 @@ import (
 	"github.com/sinet-io/sinet/internal/orbit"
 	"github.com/sinet-io/sinet/internal/sim"
 	"github.com/sinet-io/sinet/internal/stats"
+	"github.com/sinet-io/sinet/internal/tracing"
 )
 
 // Delivery policies of the routing campaign.
@@ -256,7 +257,7 @@ func RunRoutingCtx(ctx context.Context, cfg RoutingConfig) (*RoutingResult, erro
 	}
 
 	// Phase 1: propagate the shared ephemeris rows.
-	if err := sim.ForEachPhase("ephemeris", len(props), func(i int) error {
+	if err := sim.ForEachPhaseCtx(ctx, "ephemeris", len(props), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -268,12 +269,22 @@ func RunRoutingCtx(ctx context.Context, cfg RoutingConfig) (*RoutingResult, erro
 	grid.Finish()
 
 	// Phase 2: build the topology snapshots (parallel when the ephemeris
-	// is pure-read; see netgraph.Graph.ParallelBuildSafe).
+	// is pure-read; see netgraph.Graph.ParallelBuildSafe). netgraph has no
+	// context plumbing, so the span is recorded here rather than inside.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr, parentSC := tracing.FromContext(ctx)
+	var topoStart time.Time
+	if tr != nil {
+		topoStart = time.Now()
+	}
 	if err := graph.BuildAll(progress.phase("topology")); err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		tr.Record(parentSC, "phase:topology", topoStart, time.Now(),
+			tracing.Int("snapshots", graph.Snapshots()))
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -300,7 +311,7 @@ func RunRoutingCtx(ctx context.Context, cfg RoutingConfig) (*RoutingResult, erro
 	wantRelay := cfg.Policy == PolicyRelay || cfg.Policy == PolicyCompare
 	perSat := make([][]RoutedPacket, len(props))
 	nSats := len(props)
-	if err := forEachCheckpointed("packets", perSat, cfg.Shard, cfg.Resume, cfg.Checkpoint, progress, func(i int) ([]RoutedPacket, error) {
+	if err := forEachCheckpointed(ctx, "packets", perSat, cfg.Shard, cfg.Resume, cfg.Checkpoint, progress, func(i int) ([]RoutedPacket, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -73,6 +73,10 @@ type Record struct {
 	Unit  []byte `json:"unit,omitempty"`
 	// Err is the failure message (retry/fail records).
 	Err string `json:"err,omitempty"`
+	// Trace is the job's W3C traceparent (submit records, when tracing is
+	// on), so a replayed job rejoins the trace it was born under and the
+	// resumed attempts land on the same distributed timeline.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Hook observes and may veto journal I/O; the chaos harness injects write

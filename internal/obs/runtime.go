@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+)
+
+// RegisterRuntimeMetrics registers the process's own health as sampled
+// gauges, scraped live at render time (GaugeFunc) so the values are
+// authoritative at the instant of each /metrics request:
+//
+//	sinet_go_goroutines               live goroutine count
+//	sinet_go_heap_inuse_bytes         heap bytes in in-use spans
+//	sinet_go_gc_pause_seconds_total   cumulative stop-the-world pause time
+//	sinet_process_open_fds            open file descriptors (Linux; absent
+//	                                  where /proc/self/fd is unreadable)
+//
+// These are the signals the cluster coordinator re-exports per worker:
+// a worker with a goroutine leak or runaway heap shows up on the
+// coordinator's /metrics labeled with the peer that is sick, not summed
+// into an unattributable fleet total. A nil receiver registers nothing.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("sinet_go_goroutines", "Live goroutines in this process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("sinet_go_heap_inuse_bytes", "Heap bytes in in-use spans.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+	r.GaugeFunc("sinet_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+	if n, ok := countOpenFDs(); ok {
+		_ = n
+		r.GaugeFunc("sinet_process_open_fds", "Open file descriptors.",
+			func() float64 {
+				n, ok := countOpenFDs()
+				if !ok {
+					return 0
+				}
+				return float64(n)
+			})
+	}
+}
+
+// countOpenFDs counts entries in /proc/self/fd. ok is false on platforms
+// (or sandboxes) where the directory cannot be read; registration skips
+// the gauge there rather than exporting a constant zero.
+func countOpenFDs() (int, bool) {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0, false
+	}
+	return len(ents), true
+}

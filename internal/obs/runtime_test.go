@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := New()
+	RegisterRuntimeMetrics(r)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, fam := range []string{
+		"sinet_go_goroutines",
+		"sinet_go_heap_inuse_bytes",
+		"sinet_go_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" gauge") {
+			t.Errorf("scrape missing %s:\n%s", fam, out)
+		}
+		if strings.Contains(out, fam+" 0\n") && fam != "sinet_go_gc_pause_seconds_total" {
+			t.Errorf("%s sampled as zero — GaugeFunc not live:\n%s", fam, out)
+		}
+	}
+	if runtime.GOOS == "linux" {
+		if !strings.Contains(out, "sinet_process_open_fds") {
+			t.Errorf("scrape missing sinet_process_open_fds on linux:\n%s", out)
+		}
+	}
+	// Nil registry registers nothing and must not panic.
+	RegisterRuntimeMetrics(nil)
+}

@@ -2,10 +2,12 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
 	"github.com/sinet-io/sinet/internal/core"
+	"github.com/sinet-io/sinet/internal/tracing"
 )
 
 // State is a job's lifecycle position. The machine is
@@ -91,19 +93,38 @@ type Job struct {
 	// from it instead of recomputing.
 	checkpoint *core.Checkpoint
 
+	// trace is the job's distributed-trace identity: the root "job" span's
+	// context, under which every attempt, phase and retry span nests.
+	// rootSpan is the live root, ended at the terminal transition; it is
+	// nil for replayed jobs (the original root died with the old process;
+	// the restored trace keeps their resumed attempts on the original
+	// timeline) and when tracing is off.
+	trace    tracing.SpanContext
+	rootSpan *tracing.Span
+	// enqueued timestamps the latest queue entry (submit or retry requeue)
+	// so worker pickup can record the queue.wait span retrospectively.
+	enqueued time.Time
+	// retryStart/retryAttempt/retryCause describe the pending retry
+	// backoff, recorded as a retry.backoff span when the job requeues.
+	retryStart   time.Time
+	retryAttempt int
+	retryCause   string
+
 	doneCh chan struct{}
 	subs   map[chan Event]struct{}
 }
 
 func newJob(id string, key Key, spec *JobSpec) *Job {
+	now := time.Now().UTC()
 	return &Job{
-		ID:      id,
-		Key:     key,
-		Spec:    spec,
-		state:   StateQueued,
-		created: time.Now().UTC(),
-		doneCh:  make(chan struct{}),
-		subs:    map[chan Event]struct{}{},
+		ID:       id,
+		Key:      key,
+		Spec:     spec,
+		state:    StateQueued,
+		created:  now,
+		enqueued: now,
+		doneCh:   make(chan struct{}),
+		subs:     map[chan Event]struct{}{},
 	}
 }
 
@@ -250,6 +271,51 @@ func (j *Job) begin(base context.Context) (context.Context, int, bool) {
 	return ctx, j.attempt, true
 }
 
+// setTrace installs the job's trace identity (and, for locally born
+// jobs, the live root span).
+func (j *Job) setTrace(sc tracing.SpanContext, root *tracing.Span) {
+	j.mu.Lock()
+	j.trace = sc
+	j.rootSpan = root
+	j.mu.Unlock()
+}
+
+// TraceContext returns the job's root span context (zero when untraced).
+func (j *Job) TraceContext() tracing.SpanContext {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+// enqueuedAt returns the latest queue-entry time.
+func (j *Job) enqueuedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enqueued
+}
+
+// noteRetry stashes the pending backoff's shape for the retry.backoff
+// span recorded at requeue time.
+func (j *Job) noteRetry(attempt int, cause string) {
+	j.mu.Lock()
+	j.retryStart = time.Now().UTC()
+	j.retryAttempt = attempt
+	j.retryCause = cause
+	j.mu.Unlock()
+}
+
+// takeRetry consumes the pending backoff note, if any.
+func (j *Job) takeRetry() (start time.Time, attempt int, cause string, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.retryStart.IsZero() {
+		return time.Time{}, 0, "", false
+	}
+	start, attempt, cause = j.retryStart, j.retryAttempt, j.retryCause
+	j.retryStart, j.retryAttempt, j.retryCause = time.Time{}, 0, ""
+	return start, attempt, cause, true
+}
+
 // Attempts reports how many executions the job has begun, including
 // attempts journaled before a restart.
 func (j *Job) Attempts() int {
@@ -305,6 +371,7 @@ func (j *Job) requeue() bool {
 	}
 	j.state = StateQueued
 	j.started = time.Time{}
+	j.enqueued = time.Now().UTC()
 	j.phase, j.completed, j.total = "", 0, 0
 	j.publishLocked()
 	return true
@@ -381,6 +448,17 @@ func (j *Job) finishLocked(state State, result []byte, errText string, cached bo
 	j.cached = cached
 	j.finished = time.Now().UTC()
 	j.phase = ""
+	if j.rootSpan != nil {
+		// The root span closes with the terminal transition. Recording
+		// takes only the tracer's ring lock, never job or server locks, so
+		// ending it under j.mu cannot deadlock.
+		j.rootSpan.SetAttr(tracing.String("state", string(state)), tracing.Bool("cached", cached))
+		if errText != "" {
+			j.rootSpan.SetError(errors.New(errText))
+		}
+		j.rootSpan.End()
+		j.rootSpan = nil
+	}
 	j.publishLocked()
 	close(j.doneCh)
 }

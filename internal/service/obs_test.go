@@ -15,6 +15,7 @@ import (
 	"github.com/sinet-io/sinet/internal/obs"
 	"github.com/sinet-io/sinet/internal/orbit"
 	"github.com/sinet-io/sinet/internal/sim"
+	"github.com/sinet-io/sinet/internal/tracing"
 )
 
 func (e *testEnv) scrape(t *testing.T) string {
@@ -204,6 +205,35 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), `sinet_sim_phase_seconds_count{phase="contacts"} 1`) {
 		t.Errorf("phase histogram missing contacts observation:\n%s", sb.String())
+	}
+
+	// Distributed tracing must hold the same contract: a run under a live
+	// tracer produces byte-identical results, while the tracer observes
+	// real campaign phases.
+	tracer := tracing.New("test", 0)
+	root := tracer.StartRoot("job")
+	tctx := tracing.NewContext(ctx, tracer, root.Context())
+	traced, err := Run(tctx, spec, RunContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracedBytes, err := MarshalResult(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseBytes, tracedBytes) {
+		t.Fatalf("tracing perturbed the campaign: %d vs %d bytes", len(baseBytes), len(tracedBytes))
+	}
+	root.End()
+	spans := tracer.Trace(root.Context().TraceID)
+	phases := map[string]bool{}
+	for _, sp := range spans {
+		phases[sp.Name] = true
+	}
+	for _, want := range []string{"phase:ephemeris", "phase:contacts"} {
+		if !phases[want] {
+			t.Errorf("traced run recorded no %q span; got %v", want, phases)
+		}
 	}
 }
 

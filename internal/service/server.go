@@ -20,6 +20,7 @@ import (
 	"github.com/sinet-io/sinet/internal/obs"
 	"github.com/sinet-io/sinet/internal/orbit"
 	"github.com/sinet-io/sinet/internal/sim"
+	"github.com/sinet-io/sinet/internal/tracing"
 )
 
 // Admission errors mapped to HTTP statuses by the handler layer.
@@ -71,6 +72,13 @@ type Config struct {
 	// Logger, when non-nil, receives structured request and
 	// job-lifecycle logs. Nil logs nothing.
 	Logger *slog.Logger
+	// Tracer, when non-nil, records the distributed-tracing timeline of
+	// every job — admission, queue wait, attempts, campaign phases,
+	// retries, replay — into its bounded ring buffer and exposes it at
+	// GET /debug/traces and GET /v1/jobs/{id}/trace. Like Metrics it is
+	// strictly observe-only: the acceptance test pins served bytes
+	// identical with tracing on and off. Nil disables tracing.
+	Tracer *tracing.Tracer
 	// JournalPath, when non-empty, enables the durable job journal: every
 	// submit/start/checkpoint/retry/terminal transition is appended and
 	// fsynced, and New replays the file to re-admit jobs a crashed process
@@ -118,11 +126,12 @@ type Server struct {
 	runner  RunnerFunc
 	metrics *serverMetrics
 	logger  *slog.Logger
+	tracer  *tracing.Tracer
 	reqSeq  atomic.Uint64
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	inflight map[Key]*Job            // queued or running, by content key
+	inflight map[Key]*Job           // queued or running, by content key
 	timers   map[string]*time.Timer // retry backoff timers by job ID
 	draining bool
 	seq      uint64
@@ -160,6 +169,7 @@ func New(cfg Config) (*Server, error) {
 		cache:      NewCache(cfg.CacheBytes),
 		runner:     cfg.Runner,
 		logger:     cfg.Logger,
+		tracer:     cfg.Tracer,
 		jobs:       map[string]*Job{},
 		inflight:   map[Key]*Job{},
 		timers:     map[string]*time.Timer{},
@@ -220,6 +230,10 @@ func jobSeq(id string) (uint64, bool) {
 // down recovery of the rest — and the ID sequence is restored past every
 // journaled job so new IDs can never collide with replayed ones.
 func (s *Server) replay(recs []journal.Record) {
+	var replayStart time.Time
+	if s.tracer != nil {
+		replayStart = time.Now()
+	}
 	type pending struct {
 		submit   journal.Record
 		attempts int
@@ -228,6 +242,7 @@ func (s *Server) replay(recs []journal.Record) {
 	}
 	byID := map[string]*pending{}
 	var order []string
+	readmitted := 0
 	for _, rec := range recs {
 		if n, ok := jobSeq(rec.JobID); ok && n > s.seq {
 			s.seq = n
@@ -272,6 +287,13 @@ func (s *Server) replay(recs []journal.Record) {
 		j := newJob(id, Key(p.submit.Key), spec)
 		j.attempt = p.attempts
 		j.checkpoint = p.cp
+		// Rejoin the trace the job was born under: the original root span
+		// died unrecorded with the old process, but restoring its context
+		// parents every resumed attempt onto the same distributed timeline
+		// (the export layer treats spans with absent parents as roots).
+		if sc, ok := tracing.ParseTraceparent(p.submit.Trace); ok {
+			j.setTrace(sc, nil)
+		}
 		select {
 		case s.queue <- j:
 		default:
@@ -280,10 +302,24 @@ func (s *Server) replay(recs []journal.Record) {
 		}
 		s.jobs[id] = j
 		s.inflight[j.Key] = j
+		readmitted++
 		s.metrics.observeReplayed()
 		s.logJob(j, "job re-admitted from journal",
 			slog.Int("attempts", p.attempts),
 			slog.Int("checkpointed_units", p.cp.Len()))
+		if s.tracer != nil {
+			if sc := j.TraceContext(); sc.Valid() {
+				now := time.Now()
+				s.tracer.Record(sc, "job.resume", replayStart, now,
+					tracing.Int("attempts", p.attempts),
+					tracing.Int("checkpointed_units", p.cp.Len()))
+			}
+		}
+	}
+	if s.tracer != nil {
+		s.tracer.Record(tracing.SpanContext{}, "journal.replay", replayStart, time.Now(),
+			tracing.Int("records", len(recs)),
+			tracing.Int("readmitted", readmitted))
 	}
 }
 
@@ -352,13 +388,36 @@ func (s *Server) watchdog() {
 // otherwise queued. deduped reports whether an existing in-flight job was
 // returned instead of a new one.
 func (s *Server) Submit(spec *JobSpec) (job *Job, deduped bool, err error) {
+	return s.SubmitTraced(spec, tracing.SpanContext{})
+}
+
+// SubmitTraced is Submit with an optional caller span context (parsed
+// from an incoming traceparent header): with tracing on, a newly created
+// job's root "job" span becomes a child of the caller's span — on a
+// cluster this is what stitches the coordinator's proxy/shard spans and
+// the worker's execution spans into one trace — and every admission
+// outcome (queued, cache hit, dedup, draining, queue full, bad spec) is
+// recorded as an "admission" span.
+func (s *Server) SubmitTraced(spec *JobSpec, parent tracing.SpanContext) (job *Job, deduped bool, err error) {
+	var admitStart time.Time
+	if s.tracer != nil {
+		admitStart = time.Now()
+	}
+	admit := func(under tracing.SpanContext, outcome string) {
+		if s.tracer != nil {
+			s.tracer.Record(under, "admission", admitStart, time.Now(),
+				tracing.String("outcome", outcome))
+		}
+	}
 	key, err := ConfigKey(spec)
 	if err != nil {
+		admit(parent, "bad_spec")
 		return nil, false, err
 	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		admit(parent, "draining")
 		return nil, false, ErrDraining
 	}
 	// Singleflight: identical submissions while one is queued or running
@@ -366,16 +425,23 @@ func (s *Server) Submit(spec *JobSpec) (job *Job, deduped bool, err error) {
 	if existing, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		s.metrics.observeDedup()
+		admit(existing.TraceContext(), "deduped")
 		s.logJob(existing, "job deduped")
 		return existing, true, nil
 	}
 	s.seq++
 	id := fmt.Sprintf("j%06d-%s", s.seq, key.Short())
 	j := newJob(id, key, spec)
+	root := s.tracer.StartChild(parent, "job",
+		tracing.String("job", id),
+		tracing.String("kind", spec.Kind),
+		tracing.String("key", key.Short()))
+	j.setTrace(root.Context(), root)
 	if data, ok := s.cache.Get(key); ok {
 		// Content-addressed hit: the job is born terminal with the cached
 		// bytes; no queue slot, no worker, no simulation — and no journal
 		// record, since there is nothing to resume.
+		admit(root.Context(), "cache_hit")
 		j.finish(StateDone, data, "", true)
 		s.jobs[id] = j
 		s.mu.Unlock()
@@ -387,17 +453,22 @@ func (s *Server) Submit(spec *JobSpec) (job *Job, deduped bool, err error) {
 	case s.queue <- j:
 	default:
 		s.mu.Unlock()
+		// The never-ended root span is simply dropped — only the admission
+		// outcome records the rejection.
+		admit(parent, "queue_full")
 		return nil, false, ErrQueueFull
 	}
 	s.jobs[id] = j
 	s.inflight[key] = j
 	s.mu.Unlock()
+	admit(root.Context(), "queued")
 	// The submit record carries the canonical spec, so a restarted daemon
 	// can rebuild and re-run the exact campaign. Appended outside the
 	// server lock: the fsync must not stall unrelated lookups.
 	if s.journal != nil {
 		if canonical, err := json.Marshal(spec); err == nil {
-			s.journalAppend(journal.Record{Op: journal.OpSubmit, JobID: id, Key: string(key), Spec: canonical})
+			s.journalAppend(journal.Record{Op: journal.OpSubmit, JobID: id, Key: string(key), Spec: canonical,
+				Trace: root.Context().Traceparent()})
 		}
 	}
 	s.logJob(j, "job queued")
@@ -413,6 +484,9 @@ func (s *Server) logJob(j *Job, msg string, attrs ...slog.Attr) {
 		slog.String("job", j.ID),
 		slog.String("kind", j.Spec.Kind),
 		slog.String("key", j.Key.Short()),
+	}
+	if sc := j.TraceContext(); sc.Valid() {
+		base = append(base, slog.String("trace", sc.TraceID.String()))
 	}
 	s.logger.LogAttrs(context.Background(), slog.LevelInfo, msg, append(base, attrs...)...)
 }
@@ -489,6 +563,18 @@ func (s *Server) execute(j *Job) {
 		s.forgetInflight(j)
 		return
 	}
+	// Trace the attempt: a retrospective queue.wait span covering queue
+	// entry to this pickup, then a live "attempt" span injected into ctx
+	// so campaign phases (sim.ForEachPhaseCtx, core checkpointed fan-outs)
+	// nest under it.
+	if s.tracer != nil {
+		if sc := j.TraceContext(); sc.Valid() {
+			s.tracer.Record(sc, "queue.wait", j.enqueuedAt(), time.Now(),
+				tracing.Int("attempt", attempt))
+			ctx = tracing.NewContext(ctx, s.tracer, sc)
+		}
+	}
+	ctx, att := tracing.Start(ctx, "attempt", tracing.Int("attempt", attempt))
 	cancelAttempt := func() {}
 	if s.cfg.JobDeadline > 0 {
 		ctx, cancelAttempt = context.WithTimeout(ctx, s.cfg.JobDeadline)
@@ -498,8 +584,19 @@ func (s *Server) execute(j *Job) {
 	// the job with the peer's bytes — equal keys mean equal bytes, so
 	// this is indistinguishable from computing locally, minus the work.
 	if s.cfg.CacheFill != nil {
-		if data, ok := s.cfg.CacheFill(ctx, j.Key); ok {
+		var fillStart time.Time
+		if att != nil {
+			fillStart = time.Now()
+		}
+		data, hit := s.cfg.CacheFill(ctx, j.Key)
+		if att != nil {
+			s.tracer.Record(att.Context(), "cache.peer_fill", fillStart, time.Now(),
+				tracing.Bool("hit", hit), tracing.Int("bytes", len(data)))
+		}
+		if hit {
 			cancelAttempt()
+			att.SetAttr(tracing.String("outcome", "peer_fill"))
+			att.End()
 			s.cache.Put(j.Key, data)
 			s.journalAppend(journal.Record{Op: journal.OpDone, JobID: j.ID, Attempt: attempt})
 			j.finish(StateDone, data, "", true)
@@ -520,11 +617,16 @@ func (s *Server) execute(j *Job) {
 		data, merr := MarshalResult(res)
 		if merr != nil {
 			msg := fmt.Sprintf("serialize result: %v", merr)
+			att.SetError(merr)
+			att.SetAttr(tracing.String("outcome", "failed"))
+			att.End()
 			s.journalAppend(journal.Record{Op: journal.OpFail, JobID: j.ID, Attempt: attempt, Err: msg})
 			j.finish(StateFailed, nil, msg, false)
 			s.settle(j)
 			return
 		}
+		att.SetAttr(tracing.String("outcome", "done"), tracing.Int("bytes", len(data)))
+		att.End()
 		s.cache.Put(j.Key, data)
 		s.journalAppend(journal.Record{Op: journal.OpDone, JobID: j.ID, Attempt: attempt})
 		j.finish(StateDone, data, "", false)
@@ -535,25 +637,34 @@ func (s *Server) execute(j *Job) {
 	switch {
 	case errors.Is(err, context.Canceled) && (j.CancelRequested() || s.baseCtx.Err() != nil):
 		// A user cancel or the drain: terminal, never retried.
+		att.SetAttr(tracing.String("outcome", "canceled"))
+		att.End()
 		s.journalAppend(journal.Record{Op: journal.OpCancel, JobID: j.ID, Attempt: attempt})
 		j.finish(StateCanceled, nil, context.Canceled.Error(), false)
 		s.settle(j)
 		return
 	case j.staleAttempt():
+		att.SetAttr(tracing.Bool("heartbeat_stale", true))
 		err = fmt.Errorf("service: attempt %d heartbeat stale for %v: %w", attempt, s.cfg.HeartbeatTimeout, err)
 	case errors.Is(err, context.DeadlineExceeded):
+		att.SetAttr(tracing.Bool("deadline_exceeded", true))
 		err = fmt.Errorf("service: attempt %d exceeded the %v job deadline: %w", attempt, s.cfg.JobDeadline, err)
 	}
+	att.SetError(err)
 	if !retryable(err) || attempt > s.cfg.MaxRetries {
 		msg := err.Error()
 		if retryable(err) && s.cfg.MaxRetries > 0 {
 			msg = fmt.Sprintf("%s (retry budget of %d exhausted)", msg, s.cfg.MaxRetries)
 		}
+		att.SetAttr(tracing.String("outcome", "failed"))
+		att.End()
 		s.journalAppend(journal.Record{Op: journal.OpFail, JobID: j.ID, Attempt: attempt, Err: msg})
 		j.finish(StateFailed, nil, msg, false)
 		s.settle(j)
 		return
 	}
+	att.SetAttr(tracing.String("outcome", "retry"))
+	att.End()
 	s.scheduleRetry(j, attempt, err)
 }
 
@@ -621,6 +732,9 @@ func (s *Server) scheduleRetry(j *Job, attempt int, cause error) {
 	}
 	s.metrics.observeRetry()
 	s.journalAppend(journal.Record{Op: journal.OpRetry, JobID: j.ID, Attempt: attempt, Err: cause.Error()})
+	if s.tracer != nil {
+		j.noteRetry(attempt, cause.Error())
+	}
 	delay := retryDelay(j.Key, attempt, s.cfg.RetryBackoff)
 	s.logJob(j, "job retry scheduled",
 		slog.Int("attempt", attempt),
@@ -651,6 +765,15 @@ func (s *Server) enqueueRetry(j *Job) {
 	}
 	select {
 	case s.queue <- j:
+		if s.tracer != nil {
+			if start, attempt, cause, ok := j.takeRetry(); ok {
+				if sc := j.TraceContext(); sc.Valid() {
+					s.tracer.Record(sc, "retry.backoff", start, time.Now(),
+						tracing.Int("attempt", attempt),
+						tracing.String("cause", cause))
+				}
+			}
+		}
 		s.logJob(j, "job requeued for retry")
 	default:
 		msg := "service: queue full on retry"
@@ -805,9 +928,14 @@ func (s *Server) Stats() Stats {
 //	GET    /healthz             liveness                → 200 always
 //	GET    /readyz              readiness               → 200 | 503 draining
 //	GET    /metrics             Prometheus scrape       → (when Config.Metrics is set)
+//	GET    /v1/jobs/{id}/trace  assembled job timeline  → (when Config.Tracer is set)
+//	GET    /debug/traces        recent root spans       → (when Config.Tracer is set)
 //
-// With Config.Logger set, every request is logged with a process-unique
-// request ID, method, path, status and duration.
+// Every request carries an X-Request-Id: the client's own, when it sent
+// one, else a generated process-unique ID — echoed on the response so
+// client-visible IDs match the request log lines. With Config.Logger
+// set, every request is logged with that ID, method, path, status,
+// duration, and the incoming traceparent's trace ID when present.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -822,10 +950,11 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.Metrics != nil {
 		mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
 	}
-	if s.logger == nil {
-		return mux
+	if s.tracer != nil {
+		mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+		mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	}
-	return s.logRequests(mux)
+	return s.instrument(mux)
 }
 
 // statusWriter captures the response status for the request log while
@@ -846,25 +975,43 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// logRequests wraps next with structured request logging. Each request
-// gets a process-unique ID; scrape and liveness polls log at Debug so an
-// Info-level daemon isn't drowned by its own monitoring.
-func (s *Server) logRequests(next http.Handler) http.Handler {
+// instrument wraps next with request correlation and logging. Every
+// request gets an X-Request-Id — the client's own when it sent one, a
+// process-unique "r%06d" otherwise — echoed on the response header, so
+// the ID a client sees matches the journal and log lines (and a cluster
+// coordinator's generated ID survives the hop to the owning worker).
+// With logging configured each request is also logged; scrape and
+// liveness polls log at Debug so an Info-level daemon isn't drowned by
+// its own monitoring.
+func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		if s.logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		id := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		level := slog.LevelInfo
 		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" || r.URL.Path == "/metrics" {
 			level = slog.LevelDebug
 		}
-		s.logger.LogAttrs(r.Context(), level, "request",
+		attrs := []slog.Attr{
 			slog.String("req", id),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),
-			slog.Duration("took", time.Since(start)))
+			slog.Duration("took", time.Since(start)),
+		}
+		if sc := tracing.FromRequest(r); sc.Valid() {
+			attrs = append(attrs, slog.String("trace", sc.TraceID.String()))
+		}
+		s.logger.LogAttrs(r.Context(), level, "request", attrs...)
 	})
 }
 
@@ -895,7 +1042,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
 		return
 	}
-	job, deduped, err := s.Submit(&spec)
+	job, deduped, err := s.SubmitTraced(&spec, tracing.FromRequest(r))
 	switch {
 	case errors.Is(err, ErrDraining):
 		s.metrics.observeAdmission(http.StatusServiceUnavailable)

@@ -759,7 +759,7 @@ func runBackhaul(ctx context.Context, b *BackhaulSpec, rc RunContext, shard *cor
 	// propagation runs as its own phase so a resumed campaign still has
 	// every row a restored satellite's neighbors would have filled.
 	grid := orbit.NewEphemerisGrid(props, b.Start, end, orbit.EphemerisConfig{ScanStep: time.Duration(b.Step)})
-	if err := sim.ForEachPhase("ephemeris", len(props), func(i int) error {
+	if err := sim.ForEachPhaseCtx(ctx, "ephemeris", len(props), func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -769,7 +769,7 @@ func runBackhaul(ctx context.Context, b *BackhaulSpec, rc RunContext, shard *cor
 		return nil, err
 	}
 	grid.Finish()
-	if err := core.ForEachCheckpointed("satellites", res.Satellites, shard, rc.Resume, rc.Checkpoint, rc.Progress, func(i int) (SatBackhaul, error) {
+	if err := core.ForEachCheckpointed(ctx, "satellites", res.Satellites, shard, rc.Resume, rc.Checkpoint, rc.Progress, func(i int) (SatBackhaul, error) {
 		if err := ctx.Err(); err != nil {
 			return SatBackhaul{}, err
 		}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+
+	"github.com/sinet-io/sinet/internal/tracing"
+)
+
+// JobTrace is the GET /v1/jobs/{id}/trace payload: one job's assembled
+// distributed timeline. On a worker the spans are whatever this process
+// recorded for the job's trace; on a cluster coordinator the endpoint
+// stitches in the owning peers' spans as well (see internal/cluster).
+type JobTrace struct {
+	JobID   string             `json:"job_id"`
+	TraceID string             `json:"trace_id,omitempty"`
+	Spans   []tracing.SpanJSON `json:"spans"`
+}
+
+// Tracer exposes the server's tracer (nil when tracing is off) so a
+// cluster coordinator can merge its own spans into stitched timelines.
+func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
+
+// JobTraceByID assembles the local trace of one job. ok is false when
+// the job ID is unknown. A known job without a trace (tracing enabled
+// after it was journaled, for instance) yields an empty span list.
+func (s *Server) JobTraceByID(id string) (JobTrace, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return JobTrace{}, false
+	}
+	jt := JobTrace{JobID: j.ID, Spans: []tracing.SpanJSON{}}
+	if sc := j.TraceContext(); sc.Valid() {
+		jt.TraceID = sc.TraceID.String()
+		if spans := s.tracer.Trace(sc.TraceID); spans != nil {
+			jt.Spans = spans
+		}
+	}
+	return jt, true
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	jt, ok := s.JobTraceByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jt)
+}
+
+// DebugTraces is the GET /debug/traces payload: recent root spans,
+// newest first. Pass ?trace=<32-hex> to fetch one full trace instead
+// (the cluster coordinator uses that form to stitch peers' spans).
+type DebugTraces struct {
+	Service string             `json:"service"`
+	Roots   []tracing.SpanJSON `json:"roots"`
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, ok := tracing.ParseTraceID(q)
+		if !ok {
+			writeError(w, http.StatusBadRequest, errors.New("malformed trace id"))
+			return
+		}
+		spans := s.tracer.Trace(id)
+		if spans == nil {
+			spans = []tracing.SpanJSON{}
+		}
+		writeJSON(w, http.StatusOK, tracing.TraceJSON{TraceID: q, Spans: spans})
+		return
+	}
+	limit := 64
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, errors.New("malformed limit parameter"))
+			return
+		}
+		limit = n
+	}
+	roots := s.tracer.Roots(limit)
+	if roots == nil {
+		roots = []tracing.SpanJSON{}
+	}
+	writeJSON(w, http.StatusOK, DebugTraces{Service: s.tracer.Service(), Roots: roots})
+}

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
 	"github.com/sinet-io/sinet/internal/obs"
+	"github.com/sinet-io/sinet/internal/tracing"
 )
 
 // simMetrics bundles the fan-out telemetry so one atomic pointer covers
@@ -47,12 +49,35 @@ func SetMetrics(r *obs.Registry) {
 // registry installed it degrades to exactly ForEachErrProgress — not even
 // the clock is read.
 func ForEachPhase(phase string, n int, fn func(i int) error, onDone func(completed, total int)) error {
+	return ForEachPhaseCtx(context.Background(), phase, n, fn, onDone)
+}
+
+// ForEachPhaseCtx is ForEachPhase with distributed tracing: when ctx
+// carries a tracer (tracing.NewContext, injected by the service layer
+// once per job attempt), the fan-out is also recorded as a "phase:<name>"
+// child span of ctx's current span, so phase timings appear on the job's
+// assembled timeline and not just as histogram samples. Tracing, like
+// metrics, observes after the fact — the span is recorded once the
+// fan-out has fully completed, with the clock read only when either
+// instrument is live — so traced and untraced runs stay byte-identical.
+func ForEachPhaseCtx(ctx context.Context, phase string, n int, fn func(i int) error, onDone func(completed, total int)) error {
 	m := metrics.Load()
-	if m == nil || phase == "" {
+	tr, parent := tracing.FromContext(ctx)
+	if (m == nil && tr == nil) || phase == "" {
 		return ForEachErrProgress(n, fn, onDone)
 	}
 	start := time.Now()
 	err := ForEachErrProgress(n, fn, onDone)
-	m.phase.With(phase).Observe(time.Since(start).Seconds())
+	end := time.Now()
+	if m != nil {
+		m.phase.With(phase).Observe(end.Sub(start).Seconds())
+	}
+	if tr != nil {
+		attrs := []tracing.Attr{tracing.Int("units", n)}
+		if err != nil {
+			attrs = append(attrs, tracing.String("error", err.Error()))
+		}
+		tr.Record(parent, "phase:"+phase, start, end, attrs...)
+	}
 	return err
 }

@@ -1,0 +1,102 @@
+package tracing
+
+import (
+	"sort"
+	"time"
+)
+
+// SpanJSON is the wire form of one span on the export endpoints. Field
+// order is part of the contract — the golden HTTP tests pin it — so new
+// fields must be appended, never inserted.
+type SpanJSON struct {
+	TraceID    string  `json:"trace_id"`
+	SpanID     string  `json:"span_id"`
+	ParentID   string  `json:"parent_id,omitempty"`
+	Name       string  `json:"name"`
+	Service    string  `json:"service"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Attrs      []Attr  `json:"attrs,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// TraceJSON is one assembled timeline: every known span of one trace,
+// sorted by start time.
+type TraceJSON struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+func toJSON(d SpanData) SpanJSON {
+	out := SpanJSON{
+		TraceID:    d.Context.TraceID.String(),
+		SpanID:     d.Context.SpanID.String(),
+		Name:       d.Name,
+		Service:    d.Service,
+		Start:      d.Start.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(d.Duration) / float64(time.Millisecond),
+		Attrs:      d.Attrs,
+		Error:      d.Error,
+	}
+	if !d.Parent.IsZero() {
+		out.ParentID = d.Parent.String()
+	}
+	return out
+}
+
+// SortSpans orders spans by start time, breaking ties by span ID so
+// repeated exports of the same trace are byte-stable.
+func SortSpans(spans []SpanJSON) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+}
+
+// Trace returns every buffered span of one trace, sorted by start time.
+func (t *Tracer) Trace(id TraceID) []SpanJSON {
+	if t == nil || id.IsZero() {
+		return nil
+	}
+	var out []SpanJSON
+	for _, d := range t.snapshot() {
+		if d.Context.TraceID == id {
+			out = append(out, toJSON(d))
+		}
+	}
+	SortSpans(out)
+	return out
+}
+
+// Roots returns up to limit recent root-ish spans, newest first. A span
+// counts as a root when its parent is not in the buffer — that covers
+// true trace roots, spans whose remote parent lives in another process,
+// and spans whose local parent has been evicted, so a worker's
+// /debug/traces stays useful for jobs submitted via the coordinator.
+func (t *Tracer) Roots(limit int) []SpanJSON {
+	if t == nil {
+		return nil
+	}
+	if limit <= 0 {
+		limit = 64
+	}
+	spans := t.snapshot()
+	local := make(map[SpanID]struct{}, len(spans))
+	for _, d := range spans {
+		local[d.Context.SpanID] = struct{}{}
+	}
+	var out []SpanJSON
+	for i := len(spans) - 1; i >= 0 && len(out) < limit; i-- {
+		d := spans[i]
+		if d.Parent.IsZero() {
+			out = append(out, toJSON(d))
+			continue
+		}
+		if _, ok := local[d.Parent]; !ok {
+			out = append(out, toJSON(d))
+		}
+	}
+	return out
+}
